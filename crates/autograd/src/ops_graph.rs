@@ -1,0 +1,95 @@
+//! Graph ops: sparse propagation (the GCN convolution) and GAT-style
+//! neighborhood attention over a CSR structure.
+
+use std::rc::Rc;
+
+use lasagne_sparse::Csr;
+use lasagne_tensor::Tensor;
+
+use crate::tape::{NodeId, Op, Tape};
+
+impl Tape {
+    /// `m · x` with a fixed sparse matrix `m` (usually `Â`). Gradients flow
+    /// to `x` only (the graph is not trainable).
+    pub fn spmm(&mut self, m: Rc<Csr>, x: NodeId) -> NodeId {
+        let v = m.spmm(self.value(x));
+        let needs = self.needs_grad(x);
+        self.push(v, Op::SpMM { m, x }, needs)
+    }
+
+    /// GAT neighborhood attention (Veličković et al., ICLR'18; the paper's
+    /// GAT baseline and the base model of Table 7).
+    ///
+    /// Inputs: `adj` gives the neighborhoods (values ignored, structure
+    /// only; include self-loops), `z = H·W` the projected features (`N×D`),
+    /// `ssrc = z·a_src` and `sdst = z·a_dst` the two halves of the additive
+    /// attention logits (`N×1` each). For target `i` and neighbor `j`:
+    ///
+    /// ```text
+    /// e_ij = LeakyReLU(ssrc_i + sdst_j)     α_i: = softmax_j(e_ij)
+    /// out_i = Σ_j α_ij · z_j
+    /// ```
+    pub fn gat_aggregate(
+        &mut self,
+        adj: Rc<Csr>,
+        z: NodeId,
+        ssrc: NodeId,
+        sdst: NodeId,
+        slope: f32,
+    ) -> NodeId {
+        let n = adj.rows();
+        let zv = self.value(z);
+        assert_eq!(zv.rows(), n, "gat_aggregate: z rows != graph size");
+        assert_eq!(self.value(ssrc).shape(), (n, 1), "gat_aggregate: ssrc must be N×1");
+        assert_eq!(self.value(sdst).shape(), (n, 1), "gat_aggregate: sdst must be N×1");
+        let d = zv.cols();
+        let s_src = self.value(ssrc);
+        let s_dst = self.value(sdst);
+
+        let mut alpha = vec![0.0f32; adj.nnz()];
+        let mut dleaky = vec![0.0f32; adj.nnz()];
+        let mut out = Tensor::zeros(n, d);
+        let mut row_e: Vec<f32> = Vec::new();
+        for i in 0..n {
+            let lo = adj.indptr()[i];
+            let hi = adj.indptr()[i + 1];
+            if lo == hi {
+                continue;
+            }
+            let si = s_src.get(i, 0);
+            row_e.clear();
+            for e in lo..hi {
+                let j = adj.indices()[e] as usize;
+                let u = si + s_dst.get(j, 0);
+                dleaky[e] = if u >= 0.0 { 1.0 } else { slope };
+                row_e.push(if u >= 0.0 { u } else { slope * u });
+            }
+            // Stable softmax over the row.
+            let m = row_e.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row_e.iter_mut() {
+                *v = (*v - m).exp();
+                sum += *v;
+            }
+            let inv = 1.0 / sum;
+            let o_row = out.row_mut(i);
+            for (k, e) in (lo..hi).enumerate() {
+                let a = row_e[k] * inv;
+                alpha[e] = a;
+                let j = adj.indices()[e] as usize;
+                let z_row = zv.row(j);
+                for (o, &zz) in o_row.iter_mut().zip(z_row) {
+                    *o += a * zz;
+                }
+            }
+        }
+
+        let needs =
+            self.needs_grad(z) || self.needs_grad(ssrc) || self.needs_grad(sdst);
+        self.push(
+            out,
+            Op::GatAggregate { adj, z, ssrc, sdst, alpha, dleaky },
+            needs,
+        )
+    }
+}

@@ -1,0 +1,190 @@
+//! Record-time constructors for neural-network ops: activations, dropout,
+//! broadcasts, the classification objective, and the two Lasagne-specific
+//! primitives (element-wise layer max, straight-through Bernoulli gates).
+
+use std::rc::Rc;
+
+use lasagne_tensor::{Tensor, TensorRng};
+
+use crate::tape::{NodeId, Op, Tape};
+
+impl Tape {
+    /// Element-wise `e^x`.
+    pub fn exp(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).map(f32::exp);
+        let needs = self.needs_grad(x);
+        self.push(v, Op::Exp(x), needs)
+    }
+
+    /// `max(0, x)`.
+    pub fn relu(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).relu();
+        let needs = self.needs_grad(x);
+        self.push(v, Op::Relu(x), needs)
+    }
+
+    /// Leaky ReLU with negative slope.
+    pub fn leaky_relu(&mut self, x: NodeId, slope: f32) -> NodeId {
+        let v = self.value(x).leaky_relu(slope);
+        let needs = self.needs_grad(x);
+        self.push(v, Op::LeakyRelu(x, slope), needs)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).sigmoid();
+        let needs = self.needs_grad(x);
+        self.push(v, Op::Sigmoid(x), needs)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).tanh();
+        let needs = self.needs_grad(x);
+        self.push(v, Op::Tanh(x), needs)
+    }
+
+    /// Inverted dropout: keeps each entry with probability `keep` and scales
+    /// survivors by `1/keep`. Identity when `keep == 1.0`.
+    pub fn dropout(&mut self, x: NodeId, keep: f32, rng: &mut TensorRng) -> NodeId {
+        if keep >= 1.0 {
+            return x;
+        }
+        let (r, c) = self.value(x).shape();
+        let mask = rng.dropout_mask(r, c, keep);
+        let v = self.value(x).mul(&mask);
+        let needs = self.needs_grad(x);
+        self.push(v, Op::Dropout { x, mask }, needs)
+    }
+
+    /// `x (N×D) + b (1×D)` broadcast over rows (bias add).
+    pub fn add_row_broadcast(&mut self, x: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(x).add_row_broadcast(self.value(b));
+        let needs = self.needs_grad(x) || self.needs_grad(b);
+        self.push(v, Op::AddRowBroadcast(x, b), needs)
+    }
+
+    /// `x (N×D) + c (N×1)` broadcast over columns (per-node shift; used for
+    /// the row-max stabilization of the stochastic aggregator's softmax-like
+    /// normalization, Eq 6).
+    pub fn add_col_broadcast(&mut self, x: NodeId, c: NodeId) -> NodeId {
+        let v = self.value(x).add_col_broadcast(self.value(c));
+        let needs = self.needs_grad(x) || self.needs_grad(c);
+        self.push(v, Op::AddColBroadcast(x, c), needs)
+    }
+
+    /// `x (N×D) ⊙ c (N×1)` broadcast over columns — per-node scaling, the
+    /// `C(l)[:, i] ⊗ H(i)` of Eq (5).
+    pub fn mul_col_broadcast(&mut self, x: NodeId, c: NodeId) -> NodeId {
+        let v = self.value(x).mul_col_broadcast(self.value(c));
+        let needs = self.needs_grad(x) || self.needs_grad(c);
+        self.push(v, Op::MulColBroadcast(x, c), needs)
+    }
+
+    /// Row-wise log-softmax (the paper's Eq 2 softmax, in log space for a
+    /// stable cross-entropy).
+    pub fn log_softmax(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).log_softmax_rows();
+        let needs = self.needs_grad(x);
+        self.push(v, Op::LogSoftmax(x), needs)
+    }
+
+    /// Mean negative log-likelihood over the labeled node subset `idx`
+    /// (Eq 3 normalized by the number of labeled nodes).
+    pub fn nll_masked(
+        &mut self,
+        logp: NodeId,
+        labels: Rc<Vec<usize>>,
+        idx: Rc<Vec<usize>>,
+    ) -> NodeId {
+        assert!(!idx.is_empty(), "nll_masked: empty labeled set");
+        let lp = self.value(logp);
+        let mut acc = 0.0f32;
+        for &i in idx.iter() {
+            acc -= lp.get(i, labels[i]);
+        }
+        let v = Tensor::full(1, 1, acc / idx.len() as f32);
+        let needs = self.needs_grad(logp);
+        self.push(v, Op::NllMasked { logp, labels, idx }, needs)
+    }
+
+    /// Element-wise maximum over same-shaped nodes; the Max-Pooling layer
+    /// aggregator of §4.1.2 ("captures the most informative layer for each
+    /// feature coordinate without additional parameters").
+    pub fn max_stack(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "max_stack: empty input");
+        let shape = self.value(parts[0]).shape();
+        for &p in parts {
+            assert_eq!(self.value(p).shape(), shape, "max_stack: shape mismatch");
+        }
+        let mut v = self.value(parts[0]).clone();
+        let mut argmax = vec![0u32; v.len()];
+        for (k, &p) in parts.iter().enumerate().skip(1) {
+            let pv = self.value(p);
+            for (pos, (best, cand)) in v
+                .as_mut_slice()
+                .iter_mut()
+                .zip(pv.as_slice())
+                .enumerate()
+            {
+                if *cand > *best {
+                    *best = *cand;
+                    argmax[pos] = k as u32;
+                }
+            }
+        }
+        let needs = parts.iter().any(|&p| self.needs_grad(p));
+        self.push(
+            v,
+            Op::MaxStack { parts: parts.to_vec(), argmax },
+            needs,
+        )
+    }
+
+    /// Straight-through Bernoulli gate (Eq 6): samples `m_i ~ Bernoulli(p_i)`
+    /// per node (`p` is `N×1`, clamped to `[0,1]`) and returns `x ⊙ m`
+    /// (column-broadcast). Backward passes the gate gradient straight
+    /// through to `p`.
+    pub fn st_bernoulli_gate(&mut self, x: NodeId, p: NodeId, rng: &mut TensorRng) -> NodeId {
+        assert_eq!(self.value(p).cols(), 1, "st_bernoulli_gate: p must be N×1");
+        assert_eq!(
+            self.value(p).rows(),
+            self.value(x).rows(),
+            "st_bernoulli_gate: row mismatch"
+        );
+        let pv = self.value(p);
+        let mask_vals: Vec<f32> = (0..pv.rows())
+            .map(|i| if rng.bernoulli(pv.get(i, 0)) { 1.0 } else { 0.0 })
+            .collect();
+        let mask = Tensor::col_vector(&mask_vals);
+        let v = self.value(x).mul_col_broadcast(&mask);
+        let needs = self.needs_grad(x) || self.needs_grad(p);
+        self.push(v, Op::StMulCol { x, p, mask }, needs)
+    }
+
+    /// Deterministic evaluation-time counterpart of
+    /// [`Tape::st_bernoulli_gate`]: multiplies by the expected mask (the
+    /// probabilities themselves).
+    pub fn expected_gate(&mut self, x: NodeId, p: NodeId) -> NodeId {
+        self.mul_col_broadcast(x, p)
+    }
+
+    /// PairNorm (Zhao & Akoglu, ICLR'20), composed from primitive ops:
+    /// center columns, then rescale every row to the same average norm `s`.
+    /// Used by the PairNorm baseline of Table 3.
+    pub fn pairnorm(&mut self, x: NodeId, s: f32) -> NodeId {
+        let (n, _d) = self.value(x).shape();
+        // Column means as 1×D, broadcast-subtract.
+        let col_sums = self.sum_rows(x);
+        let neg_mean = self.scale(col_sums, -1.0 / n as f32);
+        let centered = self.add_row_broadcast(x, neg_mean);
+        // Mean squared row norm (1×1).
+        let sq = self.mul(centered, centered);
+        let total = self.sum_all(sq);
+        let mean_sq = self.scale(total, 1.0 / n as f32);
+        // s / sqrt(mean_sq + eps)
+        let inv = self.pow(mean_sq, -0.5, 1e-6);
+        let scale = self.scale(inv, s);
+        self.mul_scalar_node(centered, scale)
+    }
+}

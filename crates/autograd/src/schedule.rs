@@ -1,0 +1,147 @@
+//! Training utilities on top of the optimizers: global-norm gradient
+//! clipping and learning-rate schedules.
+
+use crate::{Optimizer, ParamId, ParamStore};
+
+/// Clip the *global* gradient norm across every parameter to `max_norm`
+/// (the `torch.nn.utils.clip_grad_norm_` semantics). Returns the norm
+/// before clipping. No-op (returning the norm) when already within bounds.
+pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "clip_grad_norm: max_norm must be positive");
+    let mut total_sq = 0.0f32;
+    for i in 0..store.len() {
+        let g = store.grad(ParamId::from_index(i));
+        total_sq += g.as_slice().iter().map(|v| v * v).sum::<f32>();
+    }
+    let norm = total_sq.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for i in 0..store.len() {
+            let id = ParamId::from_index(i);
+            // Scale in place through the accumulate path: grad ← grad·scale.
+            let scaled = store.grad(id).scale(scale - 1.0);
+            store.accumulate_grad(id, &scaled);
+        }
+    }
+    norm
+}
+
+/// A learning-rate schedule: maps the epoch index to a multiplier of the
+/// base rate.
+pub trait LrSchedule {
+    /// Multiplier applied to the base learning rate at `epoch`.
+    fn factor(&self, epoch: usize) -> f32;
+
+    /// Apply the schedule to an optimizer (call once per epoch).
+    fn apply(&self, opt: &mut dyn Optimizer, base_lr: f32, epoch: usize) {
+        opt.set_learning_rate(base_lr * self.factor(epoch));
+    }
+}
+
+/// Constant rate (the paper's setting — kept for explicitness).
+pub struct ConstantLr;
+
+impl LrSchedule for ConstantLr {
+    fn factor(&self, _epoch: usize) -> f32 {
+        1.0
+    }
+}
+
+/// Multiply the rate by `gamma` every `step` epochs.
+pub struct StepDecay {
+    /// Epochs between decays.
+    pub step: usize,
+    /// Multiplicative decay factor per step.
+    pub gamma: f32,
+}
+
+impl LrSchedule for StepDecay {
+    fn factor(&self, epoch: usize) -> f32 {
+        self.gamma.powi((epoch / self.step.max(1)) as i32)
+    }
+}
+
+/// Linear warmup over `warmup` epochs, then constant.
+pub struct LinearWarmup {
+    /// Warmup length in epochs.
+    pub warmup: usize,
+}
+
+impl LrSchedule for LinearWarmup {
+    fn factor(&self, epoch: usize) -> f32 {
+        if self.warmup == 0 || epoch >= self.warmup {
+            1.0
+        } else {
+            (epoch + 1) as f32 / self.warmup as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sgd;
+    use lasagne_tensor::Tensor;
+
+    #[test]
+    fn clipping_rescales_to_max_norm() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::zeros(1, 2));
+        store.accumulate_grad(a, &Tensor::from_rows(&[&[3.0, 4.0]])); // norm 5
+        let before = clip_grad_norm(&mut store, 1.0);
+        assert!((before - 5.0).abs() < 1e-5);
+        let g = store.grad(a);
+        let after = (g.get(0, 0).powi(2) + g.get(0, 1).powi(2)).sqrt();
+        assert!((after - 1.0).abs() < 1e-5, "clipped norm {after}");
+        // Direction preserved.
+        assert!((g.get(0, 1) / g.get(0, 0) - 4.0 / 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clipping_is_noop_within_bounds() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::zeros(1, 2));
+        store.accumulate_grad(a, &Tensor::from_rows(&[&[0.3, 0.4]]));
+        let norm = clip_grad_norm(&mut store, 1.0);
+        assert!((norm - 0.5).abs() < 1e-6);
+        assert_eq!(store.grad(a), &Tensor::from_rows(&[&[0.3, 0.4]]));
+    }
+
+    #[test]
+    fn clipping_spans_multiple_params() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::zeros(1, 1));
+        let b = store.add("b", Tensor::zeros(1, 1));
+        store.accumulate_grad(a, &Tensor::full(1, 1, 3.0));
+        store.accumulate_grad(b, &Tensor::full(1, 1, 4.0));
+        clip_grad_norm(&mut store, 2.5); // half of the global norm 5
+        assert!((store.grad(a).get(0, 0) - 1.5).abs() < 1e-5);
+        assert!((store.grad(b).get(0, 0) - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = StepDecay { step: 10, gamma: 0.5 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn warmup_ramps_then_flattens() {
+        let s = LinearWarmup { warmup: 4 };
+        assert!((s.factor(0) - 0.25).abs() < 1e-6);
+        assert!((s.factor(3) - 1.0).abs() < 1e-6);
+        assert_eq!(s.factor(100), 1.0);
+    }
+
+    #[test]
+    fn schedules_drive_optimizers() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        StepDecay { step: 5, gamma: 0.1 }.apply(&mut opt, 0.1, 12);
+        assert!((opt.learning_rate() - 0.001).abs() < 1e-7);
+        ConstantLr.apply(&mut opt, 0.1, 12);
+        assert_eq!(opt.learning_rate(), 0.1);
+    }
+}

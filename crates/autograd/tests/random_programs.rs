@@ -1,0 +1,126 @@
+//! Property test: gradient-check randomly-generated tape programs.
+//!
+//! Instead of checking each op in isolation (see `gradcheck.rs`), build
+//! random DAGs of smooth ops and verify the whole composition against
+//! central differences — this catches wrong gradient *routing* (missed
+//! accumulation when a node fans out, wrong parent order) that per-op
+//! tests cannot.
+
+use lasagne_autograd::{grad_check, NodeId, ParamStore, Tape};
+use lasagne_tensor::TensorRng;
+use proptest::prelude::*;
+
+/// One step of program growth: combine existing nodes with a smooth op.
+/// (Only C¹ ops — no ReLU/max — so the numeric derivative is clean.)
+#[derive(Debug, Clone)]
+enum Step {
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Tanh(usize),
+    Sigmoid(usize),
+    Scale(usize),
+    MatMulSquare(usize, usize),
+    RowBias(usize),
+    SumColsThenBroadcast(usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0usize..100, 0usize..100).prop_map(|(a, b)| Step::Add(a, b)),
+        (0usize..100, 0usize..100).prop_map(|(a, b)| Step::Sub(a, b)),
+        (0usize..100, 0usize..100).prop_map(|(a, b)| Step::Mul(a, b)),
+        (0usize..100).prop_map(Step::Tanh),
+        (0usize..100).prop_map(Step::Sigmoid),
+        (0usize..100).prop_map(Step::Scale),
+        (0usize..100, 0usize..100).prop_map(|(a, b)| Step::MatMulSquare(a, b)),
+        (0usize..100).prop_map(Step::RowBias),
+        (0usize..100).prop_map(Step::SumColsThenBroadcast),
+    ]
+}
+
+/// Execute a program over 3×3 nodes; every step's operand indices are
+/// reduced modulo the current frontier, so any random sequence is valid.
+fn run_program(
+    tape: &mut Tape,
+    store: &ParamStore,
+    params: &[lasagne_autograd::ParamId],
+    bias: lasagne_autograd::ParamId,
+    steps: &[Step],
+) -> NodeId {
+    let mut nodes: Vec<NodeId> = params.iter().map(|&p| tape.param(p, store)).collect();
+    for step in steps {
+        let pick = |i: &usize, len: usize| i % len;
+        let n = nodes.len();
+        let out = match step {
+            Step::Add(a, b) => {
+                let (x, y) = (nodes[pick(a, n)], nodes[pick(b, n)]);
+                tape.add(x, y)
+            }
+            Step::Sub(a, b) => {
+                let (x, y) = (nodes[pick(a, n)], nodes[pick(b, n)]);
+                tape.sub(x, y)
+            }
+            Step::Mul(a, b) => {
+                let (x, y) = (nodes[pick(a, n)], nodes[pick(b, n)]);
+                tape.mul(x, y)
+            }
+            Step::Tanh(a) => {
+                let x = nodes[pick(a, n)];
+                tape.tanh(x)
+            }
+            Step::Sigmoid(a) => {
+                let x = nodes[pick(a, n)];
+                tape.sigmoid(x)
+            }
+            Step::Scale(a) => {
+                let x = nodes[pick(a, n)];
+                tape.scale(x, 0.7)
+            }
+            Step::MatMulSquare(a, b) => {
+                let (x, y) = (nodes[pick(a, n)], nodes[pick(b, n)]);
+                tape.matmul(x, y)
+            }
+            Step::RowBias(a) => {
+                let x = nodes[pick(a, n)];
+                let bn = tape.param(bias, store);
+                tape.add_row_broadcast(x, bn)
+            }
+            Step::SumColsThenBroadcast(a) => {
+                let x = nodes[pick(a, n)];
+                let c = tape.sum_cols(x); // 3×1
+                tape.mul_col_broadcast(x, c)
+            }
+        };
+        nodes.push(out);
+    }
+    let last = *nodes.last().expect("non-empty");
+    // tanh keeps the loss surface bounded so f32 central differences stay
+    // accurate even for adversarial programs.
+    let squashed = tape.tanh(last);
+    let sq = tape.mul(squashed, squashed);
+    tape.mean_all(sq)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn random_dags_pass_gradient_check(
+        steps in proptest::collection::vec(step_strategy(), 1..10),
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let params: Vec<_> = (0..2)
+            .map(|i| store.add(format!("p{i}"), rng.uniform_tensor(3, 3, -0.8, 0.8)))
+            .collect();
+        let bias = store.add("bias", rng.uniform_tensor(1, 3, -0.5, 0.5));
+        let report = grad_check(&mut store, 4e-3, |tape, s| {
+            run_program(tape, s, &params, bias, &steps)
+        });
+        prop_assert!(
+            report.passes(3e-2),
+            "program {steps:?} failed: {report:?}"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Criterion benches for the numeric kernels under every model: dense
+//! matmul (all three transposition variants), SpMM, and normalization.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lasagne_sparse::Csr;
+use lasagne_tensor::TensorRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from_u64(0);
+    let a = rng.uniform_tensor(512, 128, -1.0, 1.0);
+    let b = rng.uniform_tensor(128, 64, -1.0, 1.0);
+    let g = rng.uniform_tensor(512, 64, -1.0, 1.0);
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    group.bench_function("nn_512x128x64", |bench| bench.iter(|| a.matmul(&b)));
+    group.bench_function("tn_512x128x64", |bench| bench.iter(|| a.matmul_tn(&g)));
+    // A·Bᵀ with shared 64-dim inner axis: (512×64)·(128×64)ᵀ → 512×128.
+    group.bench_function("nt_512x64x128", |bench| bench.iter(|| g.matmul_nt(&b)));
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from_u64(1);
+    // A cora-sized sparse operator.
+    let mut coo = Vec::new();
+    let n = 2708u32;
+    for _ in 0..5400 {
+        let u = rng.index(n as usize) as u32;
+        let v = rng.index(n as usize) as u32;
+        if u != v {
+            coo.push((u, v, 1.0));
+            coo.push((v, u, 1.0));
+        }
+    }
+    let adj = Csr::from_coo(n as usize, n as usize, &coo);
+    let a_hat = adj.gcn_normalize();
+    let h = rng.uniform_tensor(n as usize, 32, -1.0, 1.0);
+
+    let mut group = c.benchmark_group("spmm");
+    group.sample_size(30);
+    group.bench_function("cora_scale_x32", |bench| bench.iter(|| a_hat.spmm(&h)));
+    group.bench_function("cora_scale_x32_transposed", |bench| bench.iter(|| a_hat.spmm_t(&h)));
+    group.bench_function(
+        "gcn_normalize",
+        |bench| {
+            bench.iter_batched(|| adj.clone(), |a| a.gcn_normalize(), BatchSize::SmallInput)
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(kernels, bench_matmul, bench_spmm);
+criterion_main!(kernels);

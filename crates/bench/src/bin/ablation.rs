@@ -1,0 +1,42 @@
+//! **Node-awareness ablation** (DESIGN.md §5; not a paper artifact but the
+//! experiment its §4.1 invites): how much of Lasagne's gain comes from
+//! node-aware aggregation rather than from dense layer aggregation alone?
+//!
+//! The Mean aggregator densely aggregates all previous layers exactly like
+//! the Weighted aggregator, but with a uniform, node-*blind* coefficient —
+//! so (node-aware − Mean) isolates the paper's central mechanism.
+
+use lasagne_bench::{dataset, num_seeds, run_lasagne_config};
+use lasagne_core::{AggregatorKind, LasagneConfig};
+use lasagne_datasets::DatasetId;
+use lasagne_gnn::Hyper;
+use lasagne_train::Table;
+
+fn main() {
+    let datasets: Vec<_> = DatasetId::citation()
+        .into_iter()
+        .map(|id| dataset(id, 0))
+        .collect();
+
+    let mut table = Table::new(
+        format!(
+            "Node-awareness ablation (%, mean±std over {} seeds, depth 5)",
+            num_seeds()
+        ),
+        &["Aggregator", "node-aware?", "Cora", "Citeseer", "Pubmed"],
+    );
+    for agg in AggregatorKind::extended() {
+        eprintln!("running {}…", agg.label());
+        let mut cells = vec![
+            agg.label().to_string(),
+            if agg == AggregatorKind::Mean { "no".into() } else { "yes".into() },
+        ];
+        for ds in &datasets {
+            let hyper = Hyper::for_dataset(ds.spec.id).with_depth(5);
+            let cfg = LasagneConfig::from_hyper(&hyper, agg);
+            cells.push(run_lasagne_config(&cfg, ds, 42).cell());
+        }
+        table.row(cells);
+    }
+    println!("{table}");
+}

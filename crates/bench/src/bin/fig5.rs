@@ -1,0 +1,58 @@
+//! **Fig 5** — influence of model depth (2..10) on classification accuracy,
+//! on the citation datasets (+ NELL), for the deep-GCN family vs Lasagne.
+//!
+//! Shapes to reproduce: vanilla GCN peaks shallow and collapses;
+//! ResGCN/DenseGCN/JK-Net degrade gracefully; Lasagne keeps improving (or
+//! stays flat) and wins at depth ≥ 5.
+
+use lasagne_bench::{dataset, run_model};
+use lasagne_datasets::DatasetId;
+use lasagne_train::Table;
+
+fn main() {
+    let depths = [2usize, 4, 6, 8, 10];
+    let models = [
+        "GCN",
+        "ResGCN",
+        "DenseGCN",
+        "JK-Net",
+        "Lasagne (Weighted)",
+        "Lasagne (Stochastic)",
+        "Lasagne (Max pooling)",
+    ];
+    // `LASAGNE_FIG5_DATASETS=cora,citeseer` restricts the sweep (the full
+    // four-dataset sweep is ~140 training runs).
+    let ids: Vec<DatasetId> = match std::env::var("LASAGNE_FIG5_DATASETS") {
+        Ok(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().expect("dataset name"))
+            .collect(),
+        Err(_) => vec![
+            DatasetId::Cora,
+            DatasetId::Citeseer,
+            DatasetId::Pubmed,
+            DatasetId::Nell,
+        ],
+    };
+
+    for id in ids {
+        let ds = dataset(id, 0);
+        let mut headers = vec!["Model".to_string()];
+        headers.extend(depths.iter().map(|d| format!("depth {d}")));
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new(
+            format!("Fig 5 — accuracy (%) vs depth on {}", ds.spec.name),
+            &headers_ref,
+        );
+        for model in models {
+            eprintln!("[{id}] running {model}…");
+            let mut cells = vec![model.to_string()];
+            for &d in &depths {
+                let s = run_model(model, &ds, Some(d), 42);
+                cells.push(format!("{:.1}", s.mean_pct()));
+            }
+            table.row(cells);
+        }
+        println!("{table}");
+    }
+}

@@ -1,0 +1,89 @@
+//! **Fig 7** — efficiency comparison: per-epoch training time of GCN,
+//! Lasagne (Weighted) and GAT.
+//!
+//! (a) depth 4 across datasets; (b) depth 2..10 on Cora. The shape to
+//! reproduce: Lasagne tracks GCN (its extra work is linear), while GAT's
+//! per-edge attention is far slower and scales worst with depth.
+
+use lasagne_bench::{build_model, dataset};
+use lasagne_datasets::DatasetId;
+use lasagne_gnn::sampling::{BatchStrategy, FullBatch};
+use lasagne_gnn::{Hyper, Mode};
+use lasagne_tensor::TensorRng;
+use lasagne_train::Table;
+
+/// Median per-epoch optimization time over `reps` epochs (forward +
+/// backward + Adam step), warmup excluded.
+fn epoch_seconds(model_name: &str, ds: &lasagne_datasets::Dataset, depth: usize, reps: usize) -> f64 {
+    use lasagne_autograd::{Adam, Optimizer, Tape};
+    use std::rc::Rc;
+    let mut hyper = Hyper::for_dataset(ds.spec.id);
+    hyper.depth = depth;
+    let mut model = build_model(model_name, ds, &hyper, 0);
+    let mut strat = FullBatch::from_dataset(ds);
+    let mut rng = TensorRng::seed_from_u64(0);
+    let mut opt = Adam::new(model.store(), hyper.lr, hyper.weight_decay);
+    let mut times = Vec::with_capacity(reps);
+    for step in 0..(reps + 1) {
+        let start = std::time::Instant::now();
+        let batch = strat.batch(step, &mut rng);
+        let labels = Rc::new((*batch.ctx.labels).clone());
+        let idx = Rc::new(batch.train_idx.clone());
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &batch.ctx, Mode::Train, &mut rng);
+        let lp = tape.log_softmax(out.logits);
+        let loss = tape.nll_masked(lp, labels, idx);
+        model.store_mut().zero_grads();
+        tape.backward(loss, model.store_mut());
+        opt.step(model.store_mut());
+        if step > 0 {
+            times.push(start.elapsed().as_secs_f64());
+        }
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let reps = if lasagne_bench::fast_mode() { 2 } else { 5 };
+    let models = ["GCN", "Lasagne (Weighted)", "GAT"];
+
+    // (a) depth 4 across datasets.
+    let ids = [
+        DatasetId::Cora,
+        DatasetId::Citeseer,
+        DatasetId::Pubmed,
+        DatasetId::Tencent,
+    ];
+    let mut table_a = Table::new(
+        "Fig 7(a) — per-epoch time (s), depth 4",
+        &["Model", "Cora", "Citeseer", "Pubmed", "Tencent"],
+    );
+    let datasets: Vec<_> = ids.into_iter().map(|id| dataset(id, 0)).collect();
+    for model in models {
+        eprintln!("timing {model} at depth 4…");
+        let mut cells = vec![model.to_string()];
+        for ds in &datasets {
+            cells.push(format!("{:.3}", epoch_seconds(model, ds, 4, reps)));
+        }
+        table_a.row(cells);
+    }
+    println!("{table_a}");
+
+    // (b) depth sweep on Cora.
+    let depths = [2usize, 4, 6, 8, 10];
+    let cora = dataset(DatasetId::Cora, 0);
+    let mut headers = vec!["Model".to_string()];
+    headers.extend(depths.iter().map(|d| format!("depth {d}")));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table_b = Table::new("Fig 7(b) — per-epoch time (s) vs depth on Cora", &headers_ref);
+    for model in models {
+        eprintln!("timing {model} across depths…");
+        let mut cells = vec![model.to_string()];
+        for &d in &depths {
+            cells.push(format!("{:.3}", epoch_seconds(model, &cora, d, reps)));
+        }
+        table_b.row(cells);
+    }
+    println!("{table_b}");
+}

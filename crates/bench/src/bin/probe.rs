@@ -1,0 +1,37 @@
+//! Quick calibration probe (not a paper artifact): accuracy of a few key
+//! models on one dataset, with timing. Used while tuning the generators.
+
+use lasagne_bench::{dataset, run_model};
+use lasagne_datasets::DatasetId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ds_name = args.get(1).map(String::as_str).unwrap_or("cora");
+    let id: DatasetId = ds_name.parse().expect("dataset name");
+    let ds = dataset(id, 0);
+    println!(
+        "{}: N={} E={} classes={} homophily={:.3} majority={:.3}",
+        ds.spec.name,
+        ds.num_nodes(),
+        ds.graph.num_edges(),
+        ds.num_classes,
+        ds.graph.edge_homophily(&ds.labels),
+        ds.majority_baseline(),
+    );
+    let models: Vec<&str> = if args.len() > 2 {
+        args[2..].iter().map(String::as_str).collect()
+    } else {
+        vec!["GCN", "JK-Net", "Lasagne (Stochastic)"]
+    };
+    for m in models {
+        let start = std::time::Instant::now();
+        let s = run_model(m, &ds, None, 42);
+        println!(
+            "  {m:<24} {}  ({:.1}s total, {:.0} ms/epoch, {:.0} epochs)",
+            s.cell(),
+            start.elapsed().as_secs_f64(),
+            1000.0 * s.mean_epoch_seconds,
+            s.mean_epochs,
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! **Table 3** — test accuracy (%) on the citation datasets.
+//!
+//! Rows the paper ran itself (`*`) are re-run here; rows the paper only
+//! quotes from other publications are echoed as reference values.
+
+use lasagne_bench::{dataset, num_seeds, run_model, TABLE3_QUOTED_ROWS};
+use lasagne_datasets::DatasetId;
+use lasagne_train::Table;
+
+fn main() {
+    let datasets: Vec<_> = DatasetId::citation()
+        .into_iter()
+        .map(|id| dataset(id, 0))
+        .collect();
+
+    let models = [
+        "GCN",
+        "JK-Net",
+        "ResGCN",
+        "DenseGCN",
+        "GAT",
+        "SGC",
+        "APPNP",
+        "MixHop",
+        "DropEdge",
+        "Pairnorm",
+        "MADReg",
+        "Lasagne (Weighted)",
+        "Lasagne (Stochastic)",
+        "Lasagne (Max pooling)",
+    ];
+
+    let mut table = Table::new(
+        format!("Table 3 — citation accuracy (%, mean±std over {} seeds)", num_seeds()),
+        &["Models", "Cora", "Citeseer", "Pubmed"],
+    );
+    for (name, cora, cite, pub_) in TABLE3_QUOTED_ROWS {
+        table.row(vec![name.to_string(), cora.to_string(), cite.to_string(), pub_.to_string()]);
+    }
+    for model in models {
+        eprintln!("running {model}…");
+        let cells: Vec<String> = datasets
+            .iter()
+            .map(|ds| run_model(model, ds, None, 42).cell())
+            .collect();
+        table.row(vec![
+            format!("{model}*"),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,33 @@
+//! **Table 4** — inductive tasks (Flickr, Reddit): sampling baselines vs
+//! Lasagne (Max pooling), the only aggregator whose parameters are
+//! node-set independent.
+
+use lasagne_bench::{dataset, num_seeds, run_inductive, InductiveStrategy};
+use lasagne_datasets::DatasetId;
+use lasagne_train::Table;
+
+fn main() {
+    let flickr = dataset(DatasetId::Flickr, 0);
+    let reddit = dataset(DatasetId::Reddit, 0);
+
+    let rows: [(&str, InductiveStrategy); 5] = [
+        ("GraphSAGE", InductiveStrategy::Full),
+        ("FastGCN", InductiveStrategy::Full),
+        ("GCN", InductiveStrategy::Cluster(16)), // ClusterGCN = clustered GCN training
+        ("GCN", InductiveStrategy::Saint(1500)), // GraphSAINT = node-sampled GCN training
+        ("Lasagne (Max pooling)", InductiveStrategy::Full),
+    ];
+    let labels = ["GraphSAGE", "FastGCN", "ClusterGCN", "GraphSAINT", "Lasagne (Max pooling)*"];
+
+    let mut table = Table::new(
+        format!("Table 4 — inductive accuracy (%, mean±std over {} seeds)", num_seeds()),
+        &["Models", "Flickr", "Reddit"],
+    );
+    for ((model, strat), label) in rows.iter().zip(labels) {
+        eprintln!("running {label}…");
+        let f = run_inductive(model, *strat, &flickr, 42);
+        let r = run_inductive(model, *strat, &reddit, 42);
+        table.row(vec![label.to_string(), f.cell(), r.cell()]);
+    }
+    println!("{table}");
+}

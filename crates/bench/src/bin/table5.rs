@@ -1,0 +1,41 @@
+//! **Table 5** — accuracy on the Amazon, Coauthor and Tencent datasets.
+
+use lasagne_bench::{dataset, num_seeds, run_model};
+use lasagne_datasets::DatasetId;
+use lasagne_train::Table;
+
+fn main() {
+    let ids = [
+        DatasetId::AmazonComputer,
+        DatasetId::AmazonPhoto,
+        DatasetId::CoauthorCs,
+        DatasetId::CoauthorPhysics,
+        DatasetId::Tencent,
+    ];
+    let datasets: Vec<_> = ids.into_iter().map(|id| dataset(id, 0)).collect();
+
+    let models = [
+        "GAT",
+        "GCN",
+        "JK-Net",
+        "ResGCN",
+        "DenseGCN",
+        "Lasagne (Weighted)",
+        "Lasagne (Stochastic)",
+        "Lasagne (Max pooling)",
+    ];
+
+    let mut table = Table::new(
+        format!("Table 5 — other datasets (%, mean±std over {} seeds)", num_seeds()),
+        &["Models", "Amazon Computer", "Amazon Photo", "Coauthor CS", "Coauthor Physics", "Tencent"],
+    );
+    for model in models {
+        eprintln!("running {model}…");
+        let mut cells = vec![format!("{model}*")];
+        for ds in &datasets {
+            cells.push(run_model(model, ds, None, 42).cell());
+        }
+        table.row(cells);
+    }
+    println!("{table}");
+}

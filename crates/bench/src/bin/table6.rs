@@ -1,0 +1,39 @@
+//! **Table 6** — GC-FM ablation: each aggregator with the GC-FM output
+//! layer vs with a plain graph-convolution output layer.
+
+use lasagne_bench::{dataset, num_seeds, run_lasagne_config};
+use lasagne_core::{AggregatorKind, LasagneConfig};
+use lasagne_datasets::DatasetId;
+use lasagne_gnn::Hyper;
+use lasagne_train::Table;
+
+fn main() {
+    let datasets: Vec<_> = DatasetId::citation()
+        .into_iter()
+        .map(|id| dataset(id, 0))
+        .collect();
+
+    let mut table = Table::new(
+        format!("Table 6 — GC-FM ablation (%, mean±std over {} seeds)", num_seeds()),
+        &[
+            "Aggregators",
+            "Cora base", "Cora +GC-FM",
+            "Citeseer base", "Citeseer +GC-FM",
+            "PubMed base", "PubMed +GC-FM",
+        ],
+    );
+    for agg in AggregatorKind::all() {
+        eprintln!("running {}…", agg.label());
+        let mut cells = vec![agg.label().to_string()];
+        for ds in &datasets {
+            let hyper = Hyper::for_dataset(ds.spec.id).with_depth(5);
+            let with_fm = LasagneConfig::from_hyper(&hyper, agg);
+            let without = with_fm.clone().with_gcfm(false);
+            cells.push(run_lasagne_config(&without, ds, 42).cell());
+            cells.push(run_lasagne_config(&with_fm, ds, 42).cell());
+        }
+        // Reorder: all baselines first per dataset pair already interleaved.
+        table.row(cells);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,52 @@
+//! **Table 7** — Lasagne (Stochastic) wrapped around different base models:
+//! each row keeps the base's per-layer aggregation (GCN conv / SGC powers /
+//! GAT attention) but replaces the deep architecture with Lasagne.
+
+use lasagne_bench::{dataset, num_seeds, run_lasagne_config, run_model};
+use lasagne_core::{AggregatorKind, BaseConv, LasagneConfig};
+use lasagne_datasets::DatasetId;
+use lasagne_gnn::Hyper;
+use lasagne_train::Table;
+
+fn main() {
+    let datasets: Vec<_> = DatasetId::citation()
+        .into_iter()
+        .map(|id| dataset(id, 0))
+        .collect();
+
+    let bases = [
+        ("GCN", BaseConv::Gcn),
+        ("SGC", BaseConv::Sgc),
+        ("GAT", BaseConv::Gat),
+    ];
+
+    let mut table = Table::new(
+        format!(
+            "Table 7 — with/without Lasagne(Stochastic) (%, mean±std over {} seeds)",
+            num_seeds()
+        ),
+        &[
+            "Models",
+            "Cora base", "Cora +Lasagne(S)",
+            "Citeseer base", "Citeseer +Lasagne(S)",
+            "PubMed base", "PubMed +Lasagne(S)",
+        ],
+    );
+    for (name, base) in bases {
+        eprintln!("running base {name}…");
+        let mut cells = vec![name.to_string()];
+        for ds in &datasets {
+            // Baseline: the plain model at its best (2-layer) depth.
+            let baseline = run_model(name, ds, None, 42);
+            // Lasagne(S) on that base, depth 5.
+            let hyper = Hyper::for_dataset(ds.spec.id).with_depth(5);
+            let cfg = LasagneConfig::from_hyper(&hyper, AggregatorKind::Stochastic)
+                .with_base(base);
+            let wrapped = run_lasagne_config(&cfg, ds, 42);
+            cells.push(baseline.cell());
+            cells.push(wrapped.cell());
+        }
+        table.row(cells);
+    }
+    println!("{table}");
+}

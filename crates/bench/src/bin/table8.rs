@@ -1,0 +1,78 @@
+//! **Table 8** — accuracy as the label rate per class varies
+//! (Cora: 5/10/15/20 labels per class ≈ 1.3/2.6/3.9/5.2%;
+//! NELL: three rates scaled from the paper's 0.1/1/10%).
+
+use lasagne_bench::{max_epochs, num_seeds};
+use lasagne_bench::{build_model, dataset, table_depth};
+use lasagne_datasets::{Dataset, DatasetId};
+use lasagne_gnn::sampling::FullBatch;
+use lasagne_gnn::{GraphContext, Hyper};
+use lasagne_tensor::TensorRng;
+use lasagne_train::{fit, run_seeds, Table, TrainConfig};
+
+fn run_at_rate(model: &str, ds: &Dataset, base_seed: u64) -> String {
+    let mut hyper = Hyper::for_dataset(ds.spec.id);
+    hyper.depth = table_depth(model);
+    let cfg = TrainConfig { max_epochs: max_epochs(), ..TrainConfig::from_hyper(&hyper) };
+    let ctx = GraphContext::from_dataset(ds);
+    let s = run_seeds(num_seeds(), base_seed, |seed| {
+        let mut m = build_model(model, ds, &hyper, seed);
+        let mut strat = FullBatch::from_dataset(ds);
+        let mut rng = TensorRng::seed_from_u64(seed ^ 0xab);
+        fit(m.as_mut(), &mut strat, &ctx, &ds.split, &cfg, &mut rng)
+    });
+    format!("{:.1}", s.mean_pct())
+}
+
+fn main() {
+    let cora = dataset(DatasetId::Cora, 0);
+    let nell = dataset(DatasetId::Nell, 0);
+    // Cora: labeled nodes per class → label rate = 7·k / 2708.
+    let cora_rates = [5usize, 10, 15, 20];
+    // NELL (scaled): per-class counts giving low/medium/high label rates.
+    let nell_rates = [2usize, 10, 25];
+
+    let models = [
+        "GCN",
+        "ResGCN",
+        "DenseGCN",
+        "JK-Net",
+        "Lasagne (Weighted)",
+        "Lasagne (Stochastic)",
+        "Lasagne (Max pooling)",
+    ];
+
+    let mut headers: Vec<String> = vec!["Models".into()];
+    for k in cora_rates {
+        headers.push(format!(
+            "Cora {:.1}%",
+            100.0 * (cora.num_classes * k) as f64 / cora.num_nodes() as f64
+        ));
+    }
+    for k in nell_rates {
+        headers.push(format!(
+            "NELL {:.1}%",
+            100.0 * (nell.num_classes * k) as f64 / nell.num_nodes() as f64
+        ));
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("Table 8 — accuracy vs label rate (%, mean over {} seeds)", num_seeds()),
+        &headers_ref,
+    );
+
+    for model in models {
+        eprintln!("running {model}…");
+        let mut cells = vec![model.to_string()];
+        for &k in &cora_rates {
+            let ds = cora.with_train_per_class(k, 1000 + k as u64);
+            cells.push(run_at_rate(model, &ds, 42));
+        }
+        for &k in &nell_rates {
+            let ds = nell.with_train_per_class(k, 2000 + k as u64);
+            cells.push(run_at_rate(model, &ds, 42));
+        }
+        table.row(cells);
+    }
+    println!("{table}");
+}

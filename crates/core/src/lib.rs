@@ -1,0 +1,48 @@
+//! **Lasagne** — the paper's contribution: a multi-layer GCN framework with
+//! node-aware layer aggregators and factorization-based layer interactions.
+//!
+//! Architecture (Fig 3 of the paper):
+//!
+//! 1. a stack of graph-convolution layers with *flexible per-layer hidden
+//!    dimensions* (the equal-dimension restriction of ResGCN/DenseGCN is
+//!    removed, §4.1.1);
+//! 2. after each layer, a **node-aware layer aggregator** (Eq 4/5) lets
+//!    every node weight every previous layer's output differently —
+//!    [`AggregatorKind::Weighted`], [`AggregatorKind::MaxPooling`], or
+//!    [`AggregatorKind::Stochastic`] (Eq 6);
+//! 3. a **GC-FM** output layer (Eq 7) models pairwise interactions between
+//!    different layers' embeddings before the final propagation.
+//!
+//! The node-awareness is the point: hub nodes learn to rely on shallow
+//! layers (their deep neighborhoods over-smooth), peripheral nodes learn to
+//! pull from deep layers (they need large receptive fields) — see the
+//! locality probe in `lasagne-bench`.
+//!
+//! # Example
+//! ```
+//! use lasagne_core::{AggregatorKind, Lasagne, LasagneConfig};
+//! use lasagne_gnn::{GraphContext, Hyper, Mode, NodeClassifier};
+//! use lasagne_datasets::{Dataset, DatasetId};
+//! use lasagne_autograd::Tape;
+//! use lasagne_tensor::TensorRng;
+//!
+//! let ds = Dataset::generate(DatasetId::Cora, 0);
+//! let ctx = GraphContext::from_dataset(&ds);
+//! let cfg = LasagneConfig::from_hyper(
+//!     &Hyper::for_dataset(DatasetId::Cora).with_depth(4),
+//!     AggregatorKind::MaxPooling,
+//! );
+//! let model = Lasagne::new(ctx.input_dim(), ds.num_classes, Some(ctx.num_nodes()), &cfg, 0);
+//! let mut tape = Tape::new();
+//! let mut rng = TensorRng::seed_from_u64(0);
+//! let out = model.forward(&mut tape, &ctx, Mode::Eval, &mut rng);
+//! assert_eq!(tape.value(out.logits).shape(), (2708, 7));
+//! ```
+
+mod config;
+mod gcfm;
+mod model;
+
+pub use config::{AggregatorKind, BaseConv, LasagneConfig};
+pub use gcfm::{gcfm_reference, GcFm};
+pub use model::Lasagne;

@@ -1,0 +1,196 @@
+//! Node feature generation with degree-dependent noise.
+//!
+//! Features are class centroids plus Gaussian noise whose scale grows as a
+//! node's degree shrinks:
+//!
+//! ```text
+//! x_i = µ_{y_i} + σ_i ε,    σ_i = noise_scale · (d̄ / d_i)^η   (clamped)
+//! ```
+//!
+//! This plants the locality phenomenon of Fig 1: peripheral nodes carry
+//! unreliable features and recover signal only by aggregating deep
+//! neighborhoods, while hubs are locally clean but (in a DC-SBM) collect the
+//! most cross-community edges in absolute terms, so deep propagation mixes
+//! their embedding across clusters.
+
+use lasagne_graph::Graph;
+use lasagne_tensor::{Tensor, TensorRng};
+
+/// Parameters of the feature generator.
+#[derive(Clone, Debug)]
+pub struct FeatureConfig {
+    /// Feature dimensionality M.
+    pub dim: usize,
+    /// Norm scale of class centroids.
+    pub signal: f32,
+    /// Noise σ at the mean degree.
+    pub noise_scale: f32,
+    /// Degree exponent η; 0 disables degree dependence.
+    pub degree_noise_exponent: f32,
+    /// Base probability that a node's features are *pure noise* (no class
+    /// centroid at all). The effective per-node probability is
+    /// `clamp(mask_base · m_i, 0, 0.9)` with `m_i` the degree-noise
+    /// multiplier, so peripheral nodes are masked far more often — their
+    /// class is then only recoverable from multi-hop neighbors, which is
+    /// what makes depth genuinely necessary (Fig 1's "non-central nodes
+    /// rely on the deep architecture").
+    pub mask_base: f32,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            dim: 64,
+            signal: 1.0,
+            noise_scale: 1.0,
+            degree_noise_exponent: 0.5,
+            mask_base: 0.0,
+        }
+    }
+}
+
+/// Per-node noise multipliers (σ_i / noise_scale), clamped to `[0.5, 4.0]`.
+pub fn degree_noise_multipliers(g: &Graph, exponent: f32) -> Vec<f32> {
+    let avg = g.average_degree().max(1.0) as f32;
+    (0..g.num_nodes())
+        .map(|v| {
+            let d = g.degree(v).max(1) as f32;
+            (avg / d).powf(exponent).clamp(0.5, 4.0)
+        })
+        .collect()
+}
+
+/// Generate `N×dim` features for the labeled graph.
+pub fn generate_features(
+    g: &Graph,
+    labels: &[usize],
+    num_classes: usize,
+    cfg: &FeatureConfig,
+    rng: &mut TensorRng,
+) -> Tensor {
+    assert_eq!(labels.len(), g.num_nodes(), "generate_features: label count");
+    // Class centroids: i.i.d. Gaussian directions with expected norm
+    // ~ signal·sqrt(dim)/sqrt(dim) — keep per-coordinate scale `signal/√dim`
+    // so the centroid norm is `signal` regardless of dimension.
+    let per_coord = cfg.signal / (cfg.dim as f32).sqrt();
+    let centroids = rng.normal_tensor(num_classes, cfg.dim, 0.0, per_coord);
+    let noise_mult = degree_noise_multipliers(g, cfg.degree_noise_exponent);
+
+    let mut x = Tensor::zeros(g.num_nodes(), cfg.dim);
+    let noise_per_coord = cfg.noise_scale / (cfg.dim as f32).sqrt();
+    for i in 0..g.num_nodes() {
+        let c = labels[i];
+        assert!(c < num_classes, "generate_features: label {c} out of range");
+        let sigma = noise_per_coord * noise_mult[i];
+        let masked = cfg.mask_base > 0.0
+            && rng.bernoulli((cfg.mask_base * noise_mult[i]).clamp(0.0, 0.9));
+        let row = x.row_mut(i);
+        for (v, &mu) in row.iter_mut().zip(centroids.row(c)) {
+            let signal = if masked { 0.0 } else { mu };
+            *v = signal + sigma * rng.normal();
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star_plus_path() -> (Graph, Vec<usize>) {
+        // Node 0 is a hub (degree 5); nodes 6..9 form a path (degree ≤ 2).
+        let g = Graph::from_edges(
+            10,
+            &[
+                (0, 1), (0, 2), (0, 3), (0, 4), (0, 5),
+                (6, 7), (7, 8), (8, 9),
+            ],
+        );
+        let labels = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        (g, labels)
+    }
+
+    #[test]
+    fn shapes_and_determinism() {
+        let (g, labels) = star_plus_path();
+        let cfg = FeatureConfig { dim: 16, ..Default::default() };
+        let a = generate_features(&g, &labels, 2, &cfg, &mut TensorRng::seed_from_u64(5));
+        let b = generate_features(&g, &labels, 2, &cfg, &mut TensorRng::seed_from_u64(5));
+        assert_eq!(a.shape(), (10, 16));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hubs_get_less_noise_than_periphery() {
+        let (g, _) = star_plus_path();
+        let m = degree_noise_multipliers(&g, 0.5);
+        assert!(m[0] < m[9], "hub multiplier {} vs leaf {}", m[0], m[9]);
+        // Clamps hold.
+        assert!(m.iter().all(|&v| (0.5..=4.0).contains(&v)));
+    }
+
+    #[test]
+    fn exponent_zero_disables_degree_dependence() {
+        let (g, _) = star_plus_path();
+        let m = degree_noise_multipliers(&g, 0.0);
+        assert!(m.iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn same_class_nodes_are_closer_in_expectation() {
+        // With many dims and moderate noise, intra-class distances must be
+        // smaller than inter-class distances on average.
+        let (g, labels) = star_plus_path();
+        let cfg = FeatureConfig {
+            dim: 256,
+            signal: 2.0,
+            noise_scale: 0.5,
+            degree_noise_exponent: 0.0,
+            mask_base: 0.0,
+        };
+        let x = generate_features(&g, &labels, 2, &cfg, &mut TensorRng::seed_from_u64(1));
+        let dist = |a: usize, b: usize| -> f32 {
+            x.row(a)
+                .iter()
+                .zip(x.row(b))
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum::<f32>()
+        };
+        let intra = (dist(0, 1) + dist(6, 7)) / 2.0;
+        let inter = (dist(0, 6) + dist(1, 9)) / 2.0;
+        assert!(inter > intra, "inter {inter} intra {intra}");
+    }
+
+    #[test]
+    fn masking_zeroes_class_signal_for_some_nodes() {
+        let (g, labels) = star_plus_path();
+        let cfg = FeatureConfig {
+            dim: 512,
+            signal: 4.0,
+            noise_scale: 0.01,
+            degree_noise_exponent: 0.5,
+            mask_base: 0.5,
+        };
+        let x = generate_features(&g, &labels, 2, &cfg, &mut TensorRng::seed_from_u64(9));
+        // With near-zero noise, masked rows have tiny norms, unmasked have
+        // norm ≈ 4; both kinds must exist at mask_base 0.5.
+        let norms: Vec<f32> = (0..10)
+            .map(|i| x.row(i).iter().map(|v| v * v).sum::<f32>().sqrt())
+            .collect();
+        assert!(norms.iter().any(|&n| n < 1.0), "no masked node: {norms:?}");
+        assert!(norms.iter().any(|&n| n > 3.0), "no unmasked node: {norms:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn label_count_checked() {
+        let (g, _) = star_plus_path();
+        generate_features(
+            &g,
+            &[0, 1],
+            2,
+            &FeatureConfig::default(),
+            &mut TensorRng::seed_from_u64(0),
+        );
+    }
+}

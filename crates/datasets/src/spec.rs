@@ -1,0 +1,294 @@
+//! The dataset registry: Table 2 of the paper, with the scalings this
+//! reproduction applies (single-core CPU budget).
+
+use serde::{Deserialize, Serialize};
+
+/// Transductive vs inductive node classification (Table 2's "Task" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Task {
+    /// The whole graph (including test nodes) is visible during training;
+    /// only training labels are.
+    Transductive,
+    /// Training sees only the subgraph induced by the training nodes;
+    /// evaluation runs on the full graph.
+    Inductive,
+}
+
+/// Identifier of one of the 11 evaluation datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetId {
+    /// Citation network, 2708 nodes (paper-scale).
+    Cora,
+    /// Citation network, 3327 nodes (paper-scale).
+    Citeseer,
+    /// Citation network, scaled 19717 → 8000 nodes.
+    Pubmed,
+    /// Knowledge graph, scaled 65755 → 6000 nodes / 210 → 24 classes.
+    Nell,
+    /// Co-purchase graph, scaled 13381 → 6000 nodes.
+    AmazonComputer,
+    /// Co-purchase graph, scaled 7487 → 5000 nodes.
+    AmazonPhoto,
+    /// Citation network, scaled 18333 → 6000 nodes.
+    CoauthorCs,
+    /// Citation network, scaled 34493 → 8000 nodes.
+    CoauthorPhysics,
+    /// Image network (inductive), scaled 89250 → 8000 nodes.
+    Flickr,
+    /// Social network (inductive), scaled 232965 → 10000 nodes / 41 → 16
+    /// classes.
+    Reddit,
+    /// Production user–video bipartite graph, scaled 1M → 10000 nodes /
+    /// 253 → 16 classes.
+    Tencent,
+}
+
+impl DatasetId {
+    /// All dataset ids in Table 2 order.
+    pub fn all() -> [DatasetId; 11] {
+        use DatasetId::*;
+        [
+            Cora, Citeseer, Pubmed, Nell, AmazonComputer, AmazonPhoto, CoauthorCs,
+            CoauthorPhysics, Flickr, Reddit, Tencent,
+        ]
+    }
+
+    /// The three citation benchmarks of Table 3.
+    pub fn citation() -> [DatasetId; 3] {
+        [DatasetId::Cora, DatasetId::Citeseer, DatasetId::Pubmed]
+    }
+
+    /// Lowercase canonical name.
+    pub fn name(self) -> &'static str {
+        spec(self).name
+    }
+}
+
+impl std::str::FromStr for DatasetId {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DatasetId::all()
+            .into_iter()
+            .find(|id| id.name() == s.to_ascii_lowercase())
+            .ok_or_else(|| format!("unknown dataset '{s}'"))
+    }
+}
+
+impl std::fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full generation recipe for one dataset: the paper's statistics and the
+/// (possibly scaled) parameters used here.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Which dataset.
+    pub id: DatasetId,
+    /// Canonical lowercase name.
+    pub name: &'static str,
+    /// Node count reported in Table 2.
+    pub paper_nodes: usize,
+    /// Edge count reported in Table 2.
+    pub paper_edges: usize,
+    /// Feature dimension reported in Table 2.
+    pub paper_features: usize,
+    /// Class count reported in Table 2.
+    pub paper_classes: usize,
+
+    /// Nodes generated here.
+    pub nodes: usize,
+    /// Target mean degree of the generated graph.
+    pub avg_degree: f64,
+    /// Feature dimension generated here.
+    pub features: usize,
+    /// Classes generated here.
+    pub classes: usize,
+    /// Edge homophily of the generator.
+    pub homophily: f64,
+    /// Pareto exponent for the degree distribution (lower = heavier hubs).
+    pub power_exponent: f64,
+
+    /// Train/val/test sizes (counts of nodes).
+    pub train: usize,
+    /// Validation node count.
+    pub val: usize,
+    /// Test node count.
+    pub test: usize,
+    /// Task type.
+    pub task: Task,
+
+    /// Base feature noise (σ at the mean degree).
+    pub noise_scale: f32,
+    /// Exponent of the degree-dependent noise: σ_i ∝ (d̄/d_i)^η.
+    pub degree_noise_exponent: f32,
+    /// Base probability of masking a node's class signal entirely (see
+    /// `lasagne_datasets::FeatureConfig::mask_base`).
+    pub mask_base: f32,
+}
+
+/// Look up the generation recipe for a dataset.
+pub fn spec(id: DatasetId) -> DatasetSpec {
+    use DatasetId::*;
+    use Task::*;
+    // Splits for the citation datasets follow the Planetoid convention the
+    // paper uses (Table 2): fixed train counts (20/class), 500 val, 1000
+    // test. Scaled datasets keep the paper's train:val:test *proportions*.
+    match id {
+        Cora => DatasetSpec {
+            id, name: "cora",
+            paper_nodes: 2708, paper_edges: 5429, paper_features: 1433, paper_classes: 7,
+            nodes: 2708, avg_degree: 4.0, features: 128, classes: 7,
+            homophily: 0.90, power_exponent: 2.0,
+            train: 140, val: 500, test: 1000, task: Transductive,
+            noise_scale: 1.5, degree_noise_exponent: 0.6,
+            mask_base: 0.28,
+        },
+        Citeseer => DatasetSpec {
+            id, name: "citeseer",
+            paper_nodes: 3327, paper_edges: 4732, paper_features: 3703, paper_classes: 6,
+            nodes: 3327, avg_degree: 2.8, features: 128, classes: 6,
+            homophily: 0.90, power_exponent: 2.1,
+            train: 120, val: 500, test: 1000, task: Transductive,
+            noise_scale: 2.6, degree_noise_exponent: 0.6,
+            mask_base: 0.4,
+        },
+        Pubmed => DatasetSpec {
+            id, name: "pubmed",
+            paper_nodes: 19717, paper_edges: 44338, paper_features: 500, paper_classes: 3,
+            nodes: 8000, avg_degree: 4.5, features: 128, classes: 3,
+            homophily: 0.89, power_exponent: 2.1,
+            train: 60, val: 500, test: 1000, task: Transductive,
+            noise_scale: 2.4, degree_noise_exponent: 0.6,
+            mask_base: 0.35,
+        },
+        Nell => DatasetSpec {
+            id, name: "nell",
+            paper_nodes: 65755, paper_edges: 266144, paper_features: 61278, paper_classes: 210,
+            nodes: 6000, avg_degree: 8.0, features: 128, classes: 24,
+            homophily: 0.86, power_exponent: 2.1,
+            train: 600, val: 500, test: 1000, task: Transductive,
+            noise_scale: 1.0, degree_noise_exponent: 0.5,
+            mask_base: 0.3,
+        },
+        AmazonComputer => DatasetSpec {
+            id, name: "amazon-computer",
+            paper_nodes: 13381, paper_edges: 245778, paper_features: 767, paper_classes: 10,
+            nodes: 6000, avg_degree: 12.0, features: 64, classes: 10,
+            homophily: 0.85, power_exponent: 2.2,
+            train: 200, val: 300, test: 5500, task: Transductive,
+            noise_scale: 1.1, degree_noise_exponent: 0.5,
+            mask_base: 0.3,
+        },
+        AmazonPhoto => DatasetSpec {
+            id, name: "amazon-photo",
+            paper_nodes: 7487, paper_edges: 119043, paper_features: 745, paper_classes: 8,
+            nodes: 5000, avg_degree: 12.0, features: 64, classes: 8,
+            homophily: 0.87, power_exponent: 2.2,
+            train: 160, val: 240, test: 4600, task: Transductive,
+            noise_scale: 1.0, degree_noise_exponent: 0.5,
+            mask_base: 0.3,
+        },
+        CoauthorCs => DatasetSpec {
+            id, name: "coauthor-cs",
+            paper_nodes: 18333, paper_edges: 81894, paper_features: 6805, paper_classes: 15,
+            nodes: 6000, avg_degree: 9.0, features: 64, classes: 15,
+            homophily: 0.90, power_exponent: 2.5,
+            train: 300, val: 450, test: 5250, task: Transductive,
+            noise_scale: 0.9, degree_noise_exponent: 0.5,
+            mask_base: 0.3,
+        },
+        CoauthorPhysics => DatasetSpec {
+            id, name: "coauthor-physics",
+            paper_nodes: 34493, paper_edges: 247962, paper_features: 8415, paper_classes: 5,
+            nodes: 8000, avg_degree: 14.0, features: 64, classes: 5,
+            homophily: 0.92, power_exponent: 2.4,
+            train: 100, val: 150, test: 7750, task: Transductive,
+            noise_scale: 0.9, degree_noise_exponent: 0.5,
+            mask_base: 0.3,
+        },
+        Flickr => DatasetSpec {
+            id, name: "flickr",
+            paper_nodes: 89250, paper_edges: 899756, paper_features: 500, paper_classes: 7,
+            nodes: 8000, avg_degree: 10.0, features: 64, classes: 7,
+            // Flickr is a low-homophily dataset (SOTA accuracy ~51%).
+            homophily: 0.55, power_exponent: 2.2,
+            train: 4000, val: 2000, test: 2000, task: Inductive,
+            noise_scale: 1.6, degree_noise_exponent: 0.4,
+            mask_base: 0.3,
+        },
+        Reddit => DatasetSpec {
+            id, name: "reddit",
+            paper_nodes: 232965, paper_edges: 11606919, paper_features: 602, paper_classes: 41,
+            nodes: 10000, avg_degree: 20.0, features: 64, classes: 16,
+            // Reddit is very homophilous (SOTA accuracy ~96%).
+            homophily: 0.93, power_exponent: 2.2,
+            train: 6600, val: 1000, test: 2400, task: Inductive,
+            noise_scale: 0.8, degree_noise_exponent: 0.4,
+            mask_base: 0.3,
+        },
+        Tencent => DatasetSpec {
+            id, name: "tencent",
+            paper_nodes: 1_000_000, paper_edges: 1_434_382, paper_features: 64, paper_classes: 253,
+            // 6k labeled items + 4k users; splits index item nodes only.
+            nodes: 10000, avg_degree: 6.0, features: 64, classes: 16,
+            homophily: 0.75, power_exponent: 1.9,
+            train: 600, val: 1200, test: 3600, task: Transductive,
+            noise_scale: 1.4, degree_noise_exponent: 0.4,
+            mask_base: 0.3,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_ids() {
+        for id in DatasetId::all() {
+            let s = spec(id);
+            assert_eq!(s.id, id);
+            assert!(s.nodes > 0 && s.classes > 1);
+            assert!(s.train + s.val + s.test <= s.nodes);
+        }
+    }
+
+    #[test]
+    fn citation_splits_match_table_2() {
+        assert_eq!(spec(DatasetId::Cora).train, 140);
+        assert_eq!(spec(DatasetId::Citeseer).train, 120);
+        assert_eq!(spec(DatasetId::Pubmed).train, 60);
+        for id in DatasetId::citation() {
+            let s = spec(id);
+            assert_eq!(s.val, 500);
+            assert_eq!(s.test, 1000);
+            assert_eq!(s.task, Task::Transductive);
+        }
+    }
+
+    #[test]
+    fn train_counts_are_class_multiples_for_planetoid_style() {
+        // 20 labeled nodes per class (Table 8's 5.2% label-rate row).
+        let cora = spec(DatasetId::Cora);
+        assert_eq!(cora.train % cora.classes, 0);
+        assert_eq!(cora.train / cora.classes, 20);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for id in DatasetId::all() {
+            let parsed: DatasetId = id.name().parse().unwrap();
+            assert_eq!(parsed, id);
+        }
+        assert!("nonexistent".parse::<DatasetId>().is_err());
+    }
+
+    #[test]
+    fn inductive_flags() {
+        assert_eq!(spec(DatasetId::Flickr).task, Task::Inductive);
+        assert_eq!(spec(DatasetId::Reddit).task, Task::Inductive);
+        assert_eq!(spec(DatasetId::Cora).task, Task::Transductive);
+    }
+}

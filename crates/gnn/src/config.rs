@@ -1,0 +1,157 @@
+//! Hyper-parameters, with the paper's §5.1.3 per-dataset defaults.
+
+use lasagne_datasets::DatasetId;
+
+/// Hyper-parameters shared by all models (model-specific knobs carry
+/// defaults matching the cited baselines).
+#[derive(Clone, Debug)]
+pub struct Hyper {
+    /// Hidden dimension (paper: 32 for citation datasets, 100 otherwise —
+    /// scaled to 64 here for the big datasets, see EXPERIMENTS.md).
+    pub hidden: usize,
+    /// Number of graph-convolution layers.
+    pub depth: usize,
+    /// Dropout *keep* probability (paper reports drop rates 0.8/0.5/0.3/0.2
+    /// by dataset; keep = 1 − rate).
+    pub dropout_keep: f32,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// L2 regularization factor.
+    pub weight_decay: f32,
+
+    /// APPNP teleport probability α.
+    pub appnp_alpha: f32,
+    /// APPNP power-iteration steps K.
+    pub appnp_k: usize,
+    /// DropEdge keep probability.
+    pub dropedge_keep: f32,
+    /// PairNorm target scale s.
+    pub pairnorm_scale: f32,
+    /// MADReg regularizer weight λ.
+    pub madreg_weight: f32,
+    /// MADReg sampled pair count per side.
+    pub madreg_pairs: usize,
+    /// Highest adjacency power used by MixHop (powers 0..=p).
+    pub mixhop_powers: usize,
+    /// GAT LeakyReLU slope.
+    pub gat_slope: f32,
+    /// GAT attention heads on hidden layers (the original uses 8). The
+    /// per-edge attention work scales with this — the source of GAT's cost
+    /// in Fig 7.
+    pub gat_heads: usize,
+    /// FastGCN per-layer sample size.
+    pub fastgcn_samples: usize,
+    /// SGC propagation steps K.
+    pub sgc_k: usize,
+    /// GC-FM latent dimension k (paper: 5).
+    pub gcfm_k: usize,
+}
+
+impl Default for Hyper {
+    fn default() -> Self {
+        Hyper {
+            hidden: 32,
+            depth: 2,
+            dropout_keep: 0.5,
+            lr: 0.01,
+            weight_decay: 5e-4,
+            appnp_alpha: 0.1,
+            appnp_k: 10,
+            dropedge_keep: 0.8,
+            pairnorm_scale: 1.0,
+            madreg_weight: 0.01,
+            madreg_pairs: 256,
+            mixhop_powers: 2,
+            gat_slope: 0.2,
+            gat_heads: 8,
+            fastgcn_samples: 800,
+            sgc_k: 2,
+            gcfm_k: 5,
+        }
+    }
+}
+
+impl Hyper {
+    /// The paper's §5.1.3 settings for a dataset: lr 0.02 for citation
+    /// datasets and Tencent, 0.005 for Reddit, 0.01 elsewhere; L2 5e-4 for
+    /// citation, 1e-5 otherwise; dropout rate 0.8 citation / 0.5 Flickr &
+    /// Tencent / 0.2 Reddit / 0.3 otherwise; hidden 32 for citation.
+    pub fn for_dataset(id: DatasetId) -> Hyper {
+        use DatasetId::*;
+        let mut h = Hyper::default();
+        match id {
+            Cora | Citeseer | Pubmed | Nell => {
+                h.lr = 0.02;
+                h.weight_decay = 5e-4;
+                // Paper's 0.8 dropout *rate* starves single-core training;
+                // 0.4 keeps the same regularizing role (EXPERIMENTS.md).
+                h.dropout_keep = 0.6;
+                h.hidden = 32;
+            }
+            Tencent => {
+                h.lr = 0.02;
+                h.weight_decay = 1e-5;
+                h.dropout_keep = 0.5;
+                h.hidden = 64;
+            }
+            Reddit => {
+                h.lr = 0.005;
+                h.weight_decay = 1e-5;
+                h.dropout_keep = 0.8;
+                h.hidden = 64;
+            }
+            Flickr => {
+                h.lr = 0.01;
+                h.weight_decay = 1e-5;
+                h.dropout_keep = 0.5;
+                h.hidden = 64;
+            }
+            AmazonComputer | AmazonPhoto | CoauthorCs | CoauthorPhysics => {
+                h.lr = 0.01;
+                h.weight_decay = 1e-5;
+                h.dropout_keep = 0.7;
+                h.hidden = 64;
+            }
+        }
+        h
+    }
+
+    /// Builder-style override of the depth.
+    pub fn with_depth(mut self, depth: usize) -> Hyper {
+        self.depth = depth;
+        self
+    }
+
+    /// Builder-style override of the hidden width.
+    pub fn with_hidden(mut self, hidden: usize) -> Hyper {
+        self.hidden = hidden;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn citation_defaults_match_paper() {
+        for id in DatasetId::citation() {
+            let h = Hyper::for_dataset(id);
+            assert_eq!(h.lr, 0.02);
+            assert_eq!(h.weight_decay, 5e-4);
+            assert_eq!(h.hidden, 32);
+        }
+    }
+
+    #[test]
+    fn reddit_uses_low_lr() {
+        assert_eq!(Hyper::for_dataset(DatasetId::Reddit).lr, 0.005);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let h = Hyper::default().with_depth(7).with_hidden(96);
+        assert_eq!(h.depth, 7);
+        assert_eq!(h.hidden, 96);
+    }
+}

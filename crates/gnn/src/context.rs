@@ -1,0 +1,144 @@
+//! The shared forward interface: [`GraphContext`] (what a model sees of the
+//! data) and [`NodeClassifier`] (what the trainer sees of a model).
+
+use std::rc::Rc;
+
+use lasagne_autograd::{NodeId, ParamStore, Tape};
+use lasagne_datasets::Dataset;
+use lasagne_graph::Graph;
+use lasagne_sparse::Csr;
+use lasagne_tensor::{Tensor, TensorRng};
+
+/// Train vs eval forward semantics (dropout on/off, sampled vs expected
+/// stochastic gates, DropEdge on/off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Stochastic forward used for optimization.
+    Train,
+    /// Deterministic forward used for validation/test.
+    Eval,
+}
+
+/// Everything a model needs from a dataset, with the derived operators
+/// precomputed once.
+#[derive(Clone)]
+pub struct GraphContext {
+    /// `Â = D̃^{-1/2}(A+I)D̃^{-1/2}` — the Eq (1) propagation operator.
+    pub a_hat: Rc<Csr>,
+    /// Raw symmetric adjacency, no self-loops (DropEdge re-normalizes it).
+    pub adjacency: Rc<Csr>,
+    /// Structure with self-loops (attention neighborhoods for GAT).
+    pub adj_loops: Rc<Csr>,
+    /// Row-stochastic `D̃^{-1}(A+I)` (mean aggregation for GraphSAGE).
+    pub rw_adj: Rc<Csr>,
+    /// `N×M` input features.
+    pub features: Rc<Tensor>,
+    /// Label per node.
+    pub labels: Rc<Vec<usize>>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl GraphContext {
+    /// Build all derived operators from a graph + data.
+    pub fn new(
+        graph: &Graph,
+        features: Tensor,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> GraphContext {
+        let adjacency = Rc::new(graph.adjacency().clone());
+        let with_loops = adjacency.with_self_loops();
+        GraphContext {
+            a_hat: Rc::new(with_loops.sym_normalize()),
+            rw_adj: Rc::new(with_loops.rw_normalize()),
+            adj_loops: Rc::new(with_loops),
+            adjacency,
+            features: Rc::new(features),
+            labels: Rc::new(labels),
+            num_classes,
+        }
+    }
+
+    /// Context over a full dataset.
+    pub fn from_dataset(ds: &Dataset) -> GraphContext {
+        GraphContext::new(
+            &ds.graph,
+            ds.features.clone(),
+            ds.labels.clone(),
+            ds.num_classes,
+        )
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Input feature dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.features.cols()
+    }
+}
+
+/// What a forward pass yields: class logits (pre-softmax) and an optional
+/// additive regularizer (MADReg uses it).
+pub struct ForwardOutput {
+    /// `N×F` logits node.
+    pub logits: NodeId,
+    /// Optional `1×1` regularization term to *add* to the NLL loss.
+    pub regularizer: Option<NodeId>,
+}
+
+impl ForwardOutput {
+    /// Plain logits without a regularizer.
+    pub fn logits(logits: NodeId) -> ForwardOutput {
+        ForwardOutput { logits, regularizer: None }
+    }
+}
+
+/// A trainable node-classification model.
+///
+/// Implementations own their [`ParamStore`]; the trainer drives
+/// `forward → backward(store_mut) → optimizer.step(store_mut)`.
+pub trait NodeClassifier {
+    /// Display name (matches the paper's tables).
+    fn name(&self) -> String;
+
+    /// Record one forward pass on `tape` and return the logits.
+    ///
+    /// Must work on *any* context whose feature dimension and class count
+    /// match the constructor's — that is what makes a model inductive-
+    /// capable. Models with per-node parameters (Lasagne Weighted /
+    /// Stochastic) are pinned to their construction graph and panic on a
+    /// context of a different size, mirroring the paper's remark that those
+    /// aggregators "are not suitable" for inductive tasks.
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &GraphContext,
+        mode: Mode,
+        rng: &mut TensorRng,
+    ) -> ForwardOutput;
+
+    /// Like [`NodeClassifier::forward`], additionally returning the hidden
+    /// representations `H(1)…H(L-1)` when the architecture has a meaningful
+    /// notion of them (the deep-GCN family and Lasagne override this; the
+    /// default returns no hiddens). Used by the mutual-information analyses
+    /// of Figs 2 and 6.
+    fn forward_with_hiddens(
+        &self,
+        tape: &mut Tape,
+        ctx: &GraphContext,
+        mode: Mode,
+        rng: &mut TensorRng,
+    ) -> (ForwardOutput, Vec<NodeId>) {
+        (self.forward(tape, ctx, mode, rng), Vec::new())
+    }
+
+    /// The parameter store (read side).
+    fn store(&self) -> &ParamStore;
+
+    /// The parameter store (written by backward + optimizer).
+    fn store_mut(&mut self) -> &mut ParamStore;
+}

@@ -1,0 +1,211 @@
+//! Reusable layers: graph convolution, linear, and GAT attention.
+
+use std::rc::Rc;
+
+use lasagne_autograd::{NodeId, ParamId, ParamStore, Tape};
+use lasagne_sparse::Csr;
+use lasagne_tensor::TensorRng;
+
+/// One GCN layer: `Â (X W) + b` (Eq 1 without the nonlinearity — callers
+/// apply the activation so residual/dense variants can splice in between).
+pub struct GraphConvLayer {
+    w: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl GraphConvLayer {
+    /// Glorot-initialized layer registered under `name`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut TensorRng,
+    ) -> GraphConvLayer {
+        let w = store.add(format!("{name}.w"), rng.glorot_uniform(in_dim, out_dim));
+        let b = store.add_with_decay(
+            format!("{name}.b"),
+            lasagne_tensor::Tensor::zeros(1, out_dim),
+            false,
+        );
+        GraphConvLayer { w, b, in_dim, out_dim }
+    }
+
+    /// `Â (x W) + b`.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        a_hat: &Rc<Csr>,
+        x: NodeId,
+    ) -> NodeId {
+        let w = tape.param(self.w, store);
+        let xw = tape.matmul(x, w);
+        let prop = tape.spmm(Rc::clone(a_hat), xw);
+        let b = tape.param(self.b, store);
+        tape.add_row_broadcast(prop, b)
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+/// Dense layer `X W + b`.
+pub struct LinearLayer {
+    w: ParamId,
+    b: ParamId,
+}
+
+impl LinearLayer {
+    /// Glorot-initialized dense layer.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut TensorRng,
+    ) -> LinearLayer {
+        let w = store.add(format!("{name}.w"), rng.glorot_uniform(in_dim, out_dim));
+        let b = store.add_with_decay(
+            format!("{name}.b"),
+            lasagne_tensor::Tensor::zeros(1, out_dim),
+            false,
+        );
+        LinearLayer { w, b }
+    }
+
+    /// `x W + b`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
+        let w = tape.param(self.w, store);
+        let xw = tape.matmul(x, w);
+        let b = tape.param(self.b, store);
+        tape.add_row_broadcast(xw, b)
+    }
+}
+
+/// One single-head GAT layer: project, score neighbors with additive
+/// attention, aggregate with per-row softmax weights.
+pub struct GatLayer {
+    w: ParamId,
+    a_src: ParamId,
+    a_dst: ParamId,
+    slope: f32,
+}
+
+impl GatLayer {
+    /// Glorot-initialized attention layer.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        slope: f32,
+        rng: &mut TensorRng,
+    ) -> GatLayer {
+        GatLayer {
+            w: store.add(format!("{name}.w"), rng.glorot_uniform(in_dim, out_dim)),
+            a_src: store.add(format!("{name}.a_src"), rng.glorot_uniform(out_dim, 1)),
+            a_dst: store.add(format!("{name}.a_dst"), rng.glorot_uniform(out_dim, 1)),
+            slope,
+        }
+    }
+
+    /// Attention-weighted aggregation over `adj_loops` neighborhoods.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        adj_loops: &Rc<Csr>,
+        x: NodeId,
+    ) -> NodeId {
+        let w = tape.param(self.w, store);
+        let z = tape.matmul(x, w);
+        let a_src = tape.param(self.a_src, store);
+        let a_dst = tape.param(self.a_dst, store);
+        let ssrc = tape.matmul(z, a_src);
+        let sdst = tape.matmul(z, a_dst);
+        tape.gat_aggregate(Rc::clone(adj_loops), z, ssrc, sdst, self.slope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasagne_sparse::Csr;
+    use lasagne_tensor::Tensor;
+
+    fn tiny_ahat() -> Rc<Csr> {
+        Rc::new(
+            Csr::from_coo(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)])
+                .gcn_normalize(),
+        )
+    }
+
+    #[test]
+    fn graph_conv_shapes() {
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let layer = GraphConvLayer::new(&mut store, "gc0", 5, 4, &mut rng);
+        assert_eq!(layer.in_dim(), 5);
+        assert_eq!(layer.out_dim(), 4);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(3, 5));
+        let y = layer.forward(&mut tape, &store, &tiny_ahat(), x);
+        assert_eq!(tape.value(y).shape(), (3, 4));
+    }
+
+    #[test]
+    fn bias_is_decay_exempt() {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let _ = GraphConvLayer::new(&mut store, "gc0", 2, 2, &mut rng);
+        // Params: w (decayed), b (exempt).
+        assert_eq!(store.len(), 2);
+        let b = store.find("gc0.b").unwrap();
+        let w = store.find("gc0.w").unwrap();
+        assert_eq!(store.decay_factor(b), 0.0);
+        assert_eq!(store.decay_factor(w), 1.0);
+    }
+
+    #[test]
+    fn linear_matches_manual() {
+        let mut rng = TensorRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let layer = LinearLayer::new(&mut store, "fc", 3, 2, &mut rng);
+        let x = Tensor::from_fn(4, 3, |i, j| (i + j) as f32 * 0.1);
+        let mut tape = Tape::new();
+        let xn = tape.constant(x.clone());
+        let y = layer.forward(&mut tape, &store, xn);
+        // b is zero at init, so y = x·w.
+        let expect = x.matmul(store.value(layer.w));
+        assert!(tape.value(y).approx_eq(&expect, 1e-6));
+    }
+
+    #[test]
+    fn gat_layer_shapes_and_finiteness() {
+        let mut rng = TensorRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let layer = GatLayer::new(&mut store, "gat0", 4, 6, 0.2, &mut rng);
+        let adj = Rc::new(
+            Csr::from_coo(
+                3,
+                3,
+                &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (0, 1, 1.0), (1, 0, 1.0)],
+            ),
+        );
+        let mut tape = Tape::new();
+        let x = tape.constant(rng.uniform_tensor(3, 4, -1.0, 1.0));
+        let y = layer.forward(&mut tape, &store, &adj, x);
+        assert_eq!(tape.value(y).shape(), (3, 6));
+        assert!(!tape.value(y).has_non_finite());
+    }
+}

@@ -1,0 +1,33 @@
+//! Baseline GNNs and the shared model interface.
+//!
+//! The paper compares Lasagne against a zoo of published models; every row
+//! of Tables 3–8 marked `*` ("we ran our own implementation") is implemented
+//! here behind one [`NodeClassifier`] trait:
+//!
+//! | Model | Module | Paper table |
+//! |---|---|---|
+//! | GCN (Kipf & Welling) | [`models::Gcn`] | 3, 5, 7, 8 |
+//! | ResGCN (residual connections) | [`models::ResGcn`] | 3, 5, 8 |
+//! | DenseGCN (dense concatenation) | [`models::DenseGcn`] | 3, 5, 8 |
+//! | JK-Net (jumping knowledge, concat) | [`models::JkNet`] | 3, 5, 8 |
+//! | SGC (linearized GCN) | [`models::Sgc`] | 3, 7 |
+//! | GAT (graph attention) | [`models::Gat`] | 3, 5, 7 |
+//! | APPNP (personalized PageRank) | [`models::Appnp`] | 3 |
+//! | MixHop (adjacency powers) | [`models::MixHop`] | 3 |
+//! | DropEdge | [`models::DropEdgeGcn`] | 3 |
+//! | PairNorm | [`models::PairNormGcn`] | 3 |
+//! | MADReg (MADGap regularizer) | [`models::MadRegGcn`] | 3 |
+//! | GraphSAGE (mean aggregator) | [`models::GraphSage`] | 4 |
+//! | FastGCN (importance sampling) | [`models::FastGcn`] | 4 |
+//!
+//! ClusterGCN and GraphSAINT are *training procedures* over a GCN, provided
+//! as batch strategies in [`sampling`].
+
+pub mod config;
+mod context;
+pub mod layers;
+pub mod models;
+pub mod sampling;
+
+pub use config::Hyper;
+pub use context::{ForwardOutput, GraphContext, Mode, NodeClassifier};

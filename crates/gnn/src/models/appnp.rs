@@ -1,0 +1,122 @@
+//! APPNP (Klicpera et al., ICLR'19): predict-then-propagate with
+//! personalized PageRank — the over-smoothing fix via teleport that the
+//! paper cites in §2.3.
+
+use lasagne_autograd::{ParamStore, Tape};
+use lasagne_tensor::TensorRng;
+
+use crate::layers::LinearLayer;
+use crate::models::{input_node, maybe_dropout};
+use crate::{ForwardOutput, GraphContext, Hyper, Mode, NodeClassifier};
+
+/// A 2-layer MLP produces per-node predictions `Z₀`, which are then smoothed
+/// by `Z ← (1−α) Â Z + α Z₀` for K steps. The teleport term `α Z₀` keeps the
+/// rooted node in the loop and prevents full over-smoothing.
+pub struct Appnp {
+    fc1: LinearLayer,
+    fc2: LinearLayer,
+    alpha: f32,
+    k: usize,
+    dropout_keep: f32,
+    store: ParamStore,
+}
+
+impl Appnp {
+    /// Standard APPNP with `α = hyper.appnp_alpha`, `K = hyper.appnp_k`.
+    pub fn new(in_dim: usize, num_classes: usize, hyper: &Hyper, seed: u64) -> Appnp {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let fc1 = LinearLayer::new(&mut store, "fc1", in_dim, hyper.hidden, &mut rng);
+        let fc2 = LinearLayer::new(&mut store, "fc2", hyper.hidden, num_classes, &mut rng);
+        Appnp {
+            fc1,
+            fc2,
+            alpha: hyper.appnp_alpha,
+            k: hyper.appnp_k,
+            dropout_keep: hyper.dropout_keep,
+            store,
+        }
+    }
+
+    /// Teleport probability α.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+}
+
+impl NodeClassifier for Appnp {
+    fn name(&self) -> String {
+        format!("APPNP-a{:.2}K{}", self.alpha, self.k)
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &GraphContext,
+        mode: Mode,
+        rng: &mut TensorRng,
+    ) -> ForwardOutput {
+        let x = input_node(tape, ctx, mode, self.dropout_keep, rng);
+        let h = self.fc1.forward(tape, &self.store, x);
+        let h = tape.relu(h);
+        let h = maybe_dropout(tape, h, mode, self.dropout_keep, rng);
+        let z0 = self.fc2.forward(tape, &self.store, h);
+        // Personalized-PageRank propagation.
+        let z0_scaled = tape.scale(z0, self.alpha);
+        let mut z = z0;
+        for _ in 0..self.k {
+            let prop = tape.spmm(ctx.a_hat.clone(), z);
+            let damped = tape.scale(prop, 1.0 - self.alpha);
+            z = tape.add(damped, z0_scaled);
+        }
+        ForwardOutput::logits(z)
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_support::{assert_model_learns, tiny_ctx};
+    use crate::Mode;
+
+    #[test]
+    fn appnp_learns() {
+        let mut m = Appnp::new(8, 3, &Hyper::default(), 0);
+        assert_model_learns(&mut m, 0);
+    }
+
+    #[test]
+    fn alpha_one_disables_propagation() {
+        // α = 1 makes Z = Z₀ at every step; K must be irrelevant.
+        let h1 = Hyper { appnp_alpha: 1.0, appnp_k: 1, ..Hyper::default() };
+        let h2 = Hyper { appnp_alpha: 1.0, appnp_k: 10, ..Hyper::default() };
+        let m1 = Appnp::new(8, 3, &h1, 7);
+        let m2 = Appnp::new(8, 3, &h2, 7);
+        let (ctx, _) = tiny_ctx(1);
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut t1 = Tape::new();
+        let a = m1.forward(&mut t1, &ctx, Mode::Eval, &mut rng);
+        let mut t2 = Tape::new();
+        let b = m2.forward(&mut t2, &ctx, Mode::Eval, &mut rng);
+        assert!(t1.value(a.logits).approx_eq(t2.value(b.logits), 1e-4));
+    }
+
+    #[test]
+    fn deep_propagation_stays_finite() {
+        let h = Hyper { appnp_k: 50, ..Hyper::default() };
+        let m = Appnp::new(8, 3, &h, 0);
+        let (ctx, _) = tiny_ctx(2);
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut tape = Tape::new();
+        let out = m.forward(&mut tape, &ctx, Mode::Eval, &mut rng);
+        assert!(!tape.value(out.logits).has_non_finite());
+    }
+}

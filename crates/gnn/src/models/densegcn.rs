@@ -1,0 +1,152 @@
+//! DenseGCN (Li et al., ICCV'19): DenseNet-style dense connectivity — every
+//! layer consumes the concatenation of *all* previous layer outputs.
+
+use lasagne_autograd::{ParamStore, Tape};
+use lasagne_tensor::TensorRng;
+
+use crate::layers::GraphConvLayer;
+use crate::models::{input_node, maybe_dropout};
+use crate::{ForwardOutput, GraphContext, Hyper, Mode, NodeClassifier};
+
+/// Dense connectivity: layer `l` maps `concat(H(1)…H(l-1))` (dimension
+/// `hidden·(l-1)`, or the input dimension for `l = 1`) to `hidden`; the
+/// classifier is a GC layer over the concatenation of every hidden output.
+/// The vertex-wise concatenation "treats the node hidden representations
+/// from different layers in the same way" — the locality blindness Lasagne
+/// fixes (§4.1).
+pub struct DenseGcn {
+    layers: Vec<GraphConvLayer>,
+    classifier: GraphConvLayer,
+    hidden: usize,
+    dropout_keep: f32,
+    store: ParamStore,
+}
+
+impl DenseGcn {
+    /// `hyper.depth` total GC layers (hidden stack + dense classifier).
+    pub fn new(in_dim: usize, num_classes: usize, hyper: &Hyper, seed: u64) -> DenseGcn {
+        assert!(hyper.depth >= 2, "DenseGcn: depth must be ≥ 2");
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let hidden_count = hyper.depth - 1;
+        let mut layers = Vec::with_capacity(hidden_count);
+        for l in 0..hidden_count {
+            let din = if l == 0 { in_dim } else { hyper.hidden * l };
+            layers.push(GraphConvLayer::new(
+                &mut store,
+                &format!("gc{l}"),
+                din,
+                hyper.hidden,
+                &mut rng,
+            ));
+        }
+        let classifier = GraphConvLayer::new(
+            &mut store,
+            "classifier",
+            hyper.hidden * hidden_count,
+            num_classes,
+            &mut rng,
+        );
+        DenseGcn {
+            layers,
+            classifier,
+            hidden: hyper.hidden,
+            dropout_keep: hyper.dropout_keep,
+            store,
+        }
+    }
+
+    /// Total GC layer count.
+    pub fn depth(&self) -> usize {
+        self.layers.len() + 1
+    }
+
+    /// Width of each hidden block.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+}
+
+impl NodeClassifier for DenseGcn {
+    fn name(&self) -> String {
+        format!("DenseGCN-{}", self.depth())
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &GraphContext,
+        mode: Mode,
+        rng: &mut TensorRng,
+    ) -> ForwardOutput {
+        self.forward_with_hiddens(tape, ctx, mode, rng).0
+    }
+
+    fn forward_with_hiddens(
+        &self,
+        tape: &mut Tape,
+        ctx: &GraphContext,
+        mode: Mode,
+        rng: &mut TensorRng,
+    ) -> (ForwardOutput, Vec<lasagne_autograd::NodeId>) {
+        let x = input_node(tape, ctx, mode, self.dropout_keep, rng);
+        let mut outputs = Vec::with_capacity(self.layers.len());
+        for (l, layer) in self.layers.iter().enumerate() {
+            let input = if l == 0 {
+                x
+            } else {
+                tape.concat_cols(&outputs)
+            };
+            let input = maybe_dropout(tape, input, mode, self.dropout_keep, rng);
+            let conv = layer.forward(tape, &self.store, &ctx.a_hat, input);
+            outputs.push(tape.relu(conv));
+        }
+        let all = tape.concat_cols(&outputs);
+        let all = maybe_dropout(tape, all, mode, self.dropout_keep, rng);
+        let logits = self.classifier.forward(tape, &self.store, &ctx.a_hat, all);
+        outputs.push(logits);
+        (ForwardOutput::logits(logits), outputs)
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_support::{assert_model_learns, tiny_ctx};
+
+    #[test]
+    fn densegcn_learns() {
+        let mut m = DenseGcn::new(8, 3, &Hyper::default().with_depth(4), 0);
+        assert_model_learns(&mut m, 0);
+    }
+
+    #[test]
+    fn layer_widths_grow_linearly() {
+        let m = DenseGcn::new(8, 3, &Hyper::default().with_depth(5).with_hidden(16), 0);
+        // Hidden layers: 8→16, 16→16, 32→16, 48→16; classifier 64→3.
+        assert_eq!(m.layers[0].in_dim(), 8);
+        assert_eq!(m.layers[1].in_dim(), 16);
+        assert_eq!(m.layers[2].in_dim(), 32);
+        assert_eq!(m.layers[3].in_dim(), 48);
+        assert_eq!(m.classifier.in_dim(), 64);
+    }
+
+    #[test]
+    fn deep_dense_runs() {
+        let m = DenseGcn::new(8, 3, &Hyper::default().with_depth(10), 0);
+        let (ctx, _) = tiny_ctx(1);
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut tape = Tape::new();
+        let out = m.forward(&mut tape, &ctx, Mode::Eval, &mut rng);
+        assert_eq!(tape.value(out.logits).shape(), (60, 3));
+        assert!(!tape.value(out.logits).has_non_finite());
+    }
+}

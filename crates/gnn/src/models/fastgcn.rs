@@ -1,0 +1,209 @@
+//! FastGCN (Chen et al., ICLR'18): per-layer importance sampling of the
+//! propagation — the Monte-Carlo view of graph convolution (Table 4).
+
+use std::rc::Rc;
+
+use lasagne_autograd::{NodeId, ParamStore, Tape};
+use lasagne_tensor::TensorRng;
+
+use lasagne_autograd::ParamId;
+
+use crate::models::{input_node, maybe_dropout};
+use crate::{ForwardOutput, GraphContext, Hyper, Mode, NodeClassifier};
+
+/// A 2-layer GCN whose training-time propagation `Â H` is replaced by the
+/// importance-sampled estimator `Â[:, S] H[S] / (t·q_S)` with
+/// `q(v) ∝ ‖Â[:, v]‖²` (the variance-minimizing proposal of the FastGCN
+/// paper). Evaluation uses the exact propagation.
+///
+/// Sampling is with replacement over `t = hyper.fastgcn_samples` draws (as
+/// in the original paper, which makes the `1/(t·q)` weights exactly
+/// unbiased); repeated draws of the same column are collapsed into one
+/// column with weight `count/(t·q)`.
+pub struct FastGcn {
+    /// `(W, b)` per layer.
+    weights: Vec<(ParamId, ParamId)>,
+    samples: usize,
+    dropout_keep: f32,
+    store: ParamStore,
+}
+
+impl FastGcn {
+    /// FastGCN over `hyper.depth` layers (the published model uses 2).
+    pub fn new(in_dim: usize, num_classes: usize, hyper: &Hyper, seed: u64) -> FastGcn {
+        assert!(hyper.depth >= 1, "FastGcn: depth must be ≥ 1");
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let mut weights = Vec::with_capacity(hyper.depth);
+        for l in 0..hyper.depth {
+            let din = if l == 0 { in_dim } else { hyper.hidden };
+            let dout = if l + 1 == hyper.depth { num_classes } else { hyper.hidden };
+            let w = store.add(format!("gc{l}.w"), rng.glorot_uniform(din, dout));
+            let b = store.add_with_decay(
+                format!("gc{l}.b"),
+                lasagne_tensor::Tensor::zeros(1, dout),
+                false,
+            );
+            weights.push((w, b));
+        }
+        FastGcn {
+            weights,
+            samples: hyper.fastgcn_samples,
+            dropout_keep: hyper.dropout_keep,
+            store,
+        }
+    }
+
+    /// One importance-sampled propagation step: returns a node computing
+    /// an unbiased estimate of `Â · h`.
+    fn sampled_spmm(
+        &self,
+        tape: &mut Tape,
+        ctx: &GraphContext,
+        h: NodeId,
+        rng: &mut TensorRng,
+    ) -> NodeId {
+        let n = ctx.num_nodes();
+        let t = self.samples.min(n);
+        if t == n {
+            return tape.spmm(ctx.a_hat.clone(), h);
+        }
+        // q(v) ∝ ‖Â[:,v]‖².
+        let sq = ctx.a_hat.col_sq_norms();
+        let total: f32 = sq.iter().sum();
+        let mut cumulative: Vec<f32> = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for &w in &sq {
+            acc += w;
+            cumulative.push(acc);
+        }
+        // t draws with replacement; multiplicities fold into the weights so
+        // the estimator Σ_draws Â[:,v] h_v / (t·q_v) stays exactly unbiased.
+        let mut counts = vec![0u32; n];
+        for _ in 0..t {
+            let r = rng.uniform(0.0, total.max(f32::MIN_POSITIVE));
+            let v = cumulative.partition_point(|&c| c < r).min(n - 1);
+            counts[v] += 1;
+        }
+        let chosen: Vec<usize> = (0..n).filter(|&v| counts[v] > 0).collect();
+
+        // Rectangular slice Â[:, S], reweighted by count/(t·q_v).
+        let all_rows: Vec<usize> = (0..n).collect();
+        let mut rect = ctx.a_hat.slice(&all_rows, &chosen);
+        let weights: Vec<f32> = chosen
+            .iter()
+            .map(|&v| {
+                let q = (sq[v] / total).max(1e-12);
+                counts[v] as f32 / (t as f32 * q)
+            })
+            .collect();
+        // Scale each stored entry by its column weight.
+        for i in 0..rect.rows() {
+            let lo = rect.indptr()[i];
+            let hi = rect.indptr()[i + 1];
+            for e in lo..hi {
+                let c = rect.indices()[e] as usize;
+                rect.values_mut()[e] *= weights[c];
+            }
+        }
+        let h_s = tape.gather_rows(h, Rc::new(chosen));
+        tape.spmm(Rc::new(rect), h_s)
+    }
+}
+
+impl NodeClassifier for FastGcn {
+    fn name(&self) -> String {
+        format!("FastGCN-t{}", self.samples)
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &GraphContext,
+        mode: Mode,
+        rng: &mut TensorRng,
+    ) -> ForwardOutput {
+        let mut h = input_node(tape, ctx, mode, self.dropout_keep, rng);
+        for (l, &(w, b)) in self.weights.iter().enumerate() {
+            // Weight first (cheap), then propagate (sampled in training).
+            let wn = tape.param(w, &self.store);
+            let bn = tape.param(b, &self.store);
+            let hw = tape.matmul(h, wn);
+            let prop = match mode {
+                Mode::Train => self.sampled_spmm(tape, ctx, hw, rng),
+                Mode::Eval => tape.spmm(ctx.a_hat.clone(), hw),
+            };
+            h = tape.add_row_broadcast(prop, bn);
+            if l + 1 < self.weights.len() {
+                h = tape.relu(h);
+                h = maybe_dropout(tape, h, mode, self.dropout_keep, rng);
+            }
+        }
+        ForwardOutput::logits(h)
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_support::{assert_model_learns, tiny_ctx};
+
+    #[test]
+    fn fastgcn_learns() {
+        let h = Hyper { fastgcn_samples: 30, ..Hyper::default() };
+        let mut m = FastGcn::new(8, 3, &h, 0);
+        assert_model_learns(&mut m, 0);
+    }
+
+    #[test]
+    fn full_sample_size_equals_exact_propagation() {
+        // t ≥ N short-circuits to the exact SpMM, so train (minus dropout)
+        // equals eval.
+        let h = Hyper {
+            fastgcn_samples: 10_000,
+            dropout_keep: 1.0,
+            ..Hyper::default()
+        };
+        let m = FastGcn::new(8, 3, &h, 0);
+        let (ctx, _) = tiny_ctx(1);
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut t1 = Tape::new();
+        let a = m.forward(&mut t1, &ctx, Mode::Train, &mut rng);
+        let mut t2 = Tape::new();
+        let b = m.forward(&mut t2, &ctx, Mode::Eval, &mut rng);
+        assert!(t1.value(a.logits).approx_eq(t2.value(b.logits), 1e-5));
+    }
+
+    #[test]
+    fn sampled_estimate_is_unbiased_ish() {
+        // Average many sampled propagations of a fixed vector and compare
+        // with the exact product.
+        let (ctx, _) = tiny_ctx(2);
+        let h = Hyper { fastgcn_samples: 30, dropout_keep: 1.0, ..Hyper::default() };
+        let m = FastGcn::new(8, 3, &h, 0);
+        let mut rng = TensorRng::seed_from_u64(5);
+        let x = rng.uniform_tensor(60, 4, -1.0, 1.0);
+        let exact = ctx.a_hat.spmm(&x);
+        let mut mean = lasagne_tensor::Tensor::zeros(60, 4);
+        let reps = 300;
+        for _ in 0..reps {
+            let mut tape = Tape::new();
+            let xn = tape.constant(x.clone());
+            let est = m.sampled_spmm(&mut tape, &ctx, xn, &mut rng);
+            mean.add_assign(tape.value(est));
+        }
+        mean.scale_assign(1.0 / reps as f32);
+        // Monte-Carlo error shrinks like 1/√reps; tolerance is loose but
+        // catches systematic bias (e.g. forgetting the 1/(t·q) factor).
+        let err = mean.max_abs_diff(&exact);
+        assert!(err < 0.35, "sampled propagation bias too large: {err}");
+    }
+}

@@ -1,0 +1,149 @@
+//! GAT (Veličković et al., ICLR'18): per-edge additive attention. The
+//! paper's efficiency comparison (Fig 7) hinges on GAT's per-edge score
+//! work being far more expensive than GCN/Lasagne's linear-time
+//! aggregation.
+
+use lasagne_autograd::{ParamStore, Tape};
+use lasagne_tensor::TensorRng;
+
+use crate::layers::GatLayer;
+use crate::models::{input_node, maybe_dropout};
+use crate::{ForwardOutput, GraphContext, Hyper, Mode, NodeClassifier};
+
+/// Multi-layer, multi-head GAT: hidden layers concatenate `gat_heads`
+/// independent attention heads (8 in the original paper); the output layer
+/// uses a single head. The per-edge attention work scales with the head
+/// count — exactly the cost the paper's Fig 7 attributes to GAT.
+pub struct Gat {
+    /// `layers[l]` holds the heads of layer `l` (one for the output layer).
+    layers: Vec<Vec<GatLayer>>,
+    dropout_keep: f32,
+    store: ParamStore,
+}
+
+impl Gat {
+    /// `hyper.depth` attention layers with `hyper.gat_heads` heads each
+    /// (output layer: 1 head).
+    pub fn new(in_dim: usize, num_classes: usize, hyper: &Hyper, seed: u64) -> Gat {
+        assert!(hyper.depth >= 1, "Gat: depth must be ≥ 1");
+        assert!(hyper.gat_heads >= 1, "Gat: need at least one head");
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let head_dim = (hyper.hidden / hyper.gat_heads).max(1);
+        let hidden_out = head_dim * hyper.gat_heads;
+        let mut layers = Vec::with_capacity(hyper.depth);
+        for l in 0..hyper.depth {
+            let din = if l == 0 { in_dim } else { hidden_out };
+            let last = l + 1 == hyper.depth;
+            let heads = if last { 1 } else { hyper.gat_heads };
+            let dout = if last { num_classes } else { head_dim };
+            let layer_heads = (0..heads)
+                .map(|h| {
+                    GatLayer::new(
+                        &mut store,
+                        &format!("gat{l}h{h}"),
+                        din,
+                        dout,
+                        hyper.gat_slope,
+                        &mut rng,
+                    )
+                })
+                .collect();
+            layers.push(layer_heads);
+        }
+        Gat {
+            layers,
+            dropout_keep: hyper.dropout_keep,
+            store,
+        }
+    }
+
+    /// Attention layer count.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Heads on the hidden layers.
+    pub fn heads(&self) -> usize {
+        self.layers.first().map_or(1, Vec::len)
+    }
+}
+
+impl NodeClassifier for Gat {
+    fn name(&self) -> String {
+        format!("GAT-{}", self.layers.len())
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &GraphContext,
+        mode: Mode,
+        rng: &mut TensorRng,
+    ) -> ForwardOutput {
+        let mut h = input_node(tape, ctx, mode, self.dropout_keep, rng);
+        for (l, heads) in self.layers.iter().enumerate() {
+            let outs: Vec<_> = heads
+                .iter()
+                .map(|head| head.forward(tape, &self.store, &ctx.adj_loops, h))
+                .collect();
+            h = if outs.len() == 1 {
+                outs[0]
+            } else {
+                tape.concat_cols(&outs)
+            };
+            if l + 1 < self.layers.len() {
+                // ELU in the original; LeakyReLU keeps the op set small with
+                // the same qualitative smooth-negative behavior.
+                h = tape.leaky_relu(h, 0.1);
+                h = maybe_dropout(tape, h, mode, self.dropout_keep, rng);
+            }
+        }
+        ForwardOutput::logits(h)
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_support::assert_model_learns;
+
+    #[test]
+    fn gat_learns() {
+        let h = Hyper { gat_heads: 2, ..Hyper::default() };
+        let mut m = Gat::new(8, 3, &h, 0);
+        assert_model_learns(&mut m, 0);
+    }
+
+    #[test]
+    fn four_layer_gat_builds() {
+        let h = Hyper { gat_heads: 2, ..Hyper::default().with_depth(4) };
+        let m = Gat::new(8, 3, &h, 0);
+        assert_eq!(m.depth(), 4);
+        assert_eq!(m.heads(), 2);
+        assert_eq!(m.name(), "GAT-4");
+        // 3 params per head: 3 hidden layers × 2 heads + 1 output head.
+        assert_eq!(m.store().len(), 3 * (3 * 2 + 1));
+    }
+
+    #[test]
+    fn multi_head_output_width_is_consistent() {
+        use crate::models::test_support::tiny_ctx;
+        // hidden 30 with 8 heads → head_dim 3, hidden width 24.
+        let h = Hyper { gat_heads: 8, ..Hyper::default().with_hidden(30).with_depth(3) };
+        let m = Gat::new(8, 3, &h, 0);
+        let (ctx, _) = tiny_ctx(5);
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut tape = Tape::new();
+        let out = m.forward(&mut tape, &ctx, Mode::Eval, &mut rng);
+        assert_eq!(tape.value(out.logits).shape(), (60, 3));
+    }
+}

@@ -1,0 +1,171 @@
+//! MADReg (Chen et al., AAAI'20): regularize training with the MADGap —
+//! neighbor representations should be close, remote ones far. The paper
+//! lists it among the over-smoothing remedies of §2.3 and Table 3.
+
+use std::rc::Rc;
+
+use lasagne_autograd::{NodeId, ParamStore, Tape};
+use lasagne_tensor::TensorRng;
+
+use crate::layers::GraphConvLayer;
+use crate::models::{input_node, maybe_dropout};
+use crate::{ForwardOutput, GraphContext, Hyper, Mode, NodeClassifier};
+
+/// GCN plus a MADGap-based regularizer evaluated on the last hidden layer:
+/// `λ · (mean cos-distance of neighbor pairs − mean cos-distance of remote
+/// pairs)` — minimizing it pushes neighbors together and remote pairs apart.
+/// Pairs are re-sampled each forward (an unbiased stochastic estimate of
+/// the full O(N²) MAD matrix the original paper computes).
+pub struct MadRegGcn {
+    layers: Vec<GraphConvLayer>,
+    weight: f32,
+    pairs: usize,
+    dropout_keep: f32,
+    store: ParamStore,
+}
+
+impl MadRegGcn {
+    /// GCN of `hyper.depth` layers, regularizer weight `hyper.madreg_weight`
+    /// and `hyper.madreg_pairs` sampled pairs per side.
+    pub fn new(in_dim: usize, num_classes: usize, hyper: &Hyper, seed: u64) -> MadRegGcn {
+        assert!(hyper.depth >= 2, "MadRegGcn: depth must be ≥ 2");
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let mut layers = Vec::with_capacity(hyper.depth);
+        for l in 0..hyper.depth {
+            let din = if l == 0 { in_dim } else { hyper.hidden };
+            let dout = if l + 1 == hyper.depth { num_classes } else { hyper.hidden };
+            layers.push(GraphConvLayer::new(&mut store, &format!("gc{l}"), din, dout, &mut rng));
+        }
+        MadRegGcn {
+            layers,
+            weight: hyper.madreg_weight,
+            pairs: hyper.madreg_pairs,
+            dropout_keep: hyper.dropout_keep,
+            store,
+        }
+    }
+
+    /// Mean cosine similarity over the sampled `(us, vs)` row pairs of `h`.
+    fn mean_cosine(
+        &self,
+        tape: &mut Tape,
+        h: NodeId,
+        us: Vec<usize>,
+        vs: Vec<usize>,
+    ) -> NodeId {
+        let hu = tape.gather_rows(h, Rc::new(us));
+        let hv = tape.gather_rows(h, Rc::new(vs));
+        let prod = tape.mul(hu, hv);
+        let dots = tape.sum_cols(prod);
+        let uu = tape.mul(hu, hu);
+        let nu = tape.sum_cols(uu);
+        let vv = tape.mul(hv, hv);
+        let nv = tape.sum_cols(vv);
+        let inv_u = tape.pow(nu, -0.5, 1e-8);
+        let inv_v = tape.pow(nv, -0.5, 1e-8);
+        let cos_u = tape.mul(dots, inv_u);
+        let cos = tape.mul(cos_u, inv_v);
+        tape.mean_all(cos)
+    }
+}
+
+impl NodeClassifier for MadRegGcn {
+    fn name(&self) -> String {
+        format!("MADReg-{}", self.layers.len())
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &GraphContext,
+        mode: Mode,
+        rng: &mut TensorRng,
+    ) -> ForwardOutput {
+        let mut h = input_node(tape, ctx, mode, self.dropout_keep, rng);
+        let mut last_hidden = h;
+        for (l, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, &self.store, &ctx.a_hat, h);
+            if l + 1 < self.layers.len() {
+                h = tape.relu(h);
+                last_hidden = h;
+                h = maybe_dropout(tape, h, mode, self.dropout_keep, rng);
+            }
+        }
+
+        let regularizer = if mode == Mode::Train && self.weight > 0.0 {
+            let n = ctx.num_nodes();
+            // Neighbor pairs: random node with a neighbor; remote pairs:
+            // independent uniform pairs (overwhelmingly non-adjacent).
+            let mut nu = Vec::with_capacity(self.pairs);
+            let mut nv = Vec::with_capacity(self.pairs);
+            while nu.len() < self.pairs {
+                let u = rng.index(n);
+                let deg = ctx.adjacency.row_nnz(u);
+                if deg == 0 {
+                    continue;
+                }
+                let v = ctx.adjacency.row_indices(u)[rng.index(deg)] as usize;
+                nu.push(u);
+                nv.push(v);
+            }
+            let ru: Vec<usize> = (0..self.pairs).map(|_| rng.index(n)).collect();
+            let rv: Vec<usize> = (0..self.pairs).map(|_| rng.index(n)).collect();
+
+            let cos_neighbor = self.mean_cosine(tape, last_hidden, nu, nv);
+            let cos_remote = self.mean_cosine(tape, last_hidden, ru, rv);
+            // loss += λ((1−cos_n) − (1−cos_r)) = λ(cos_r − cos_n)
+            let diff = tape.sub(cos_remote, cos_neighbor);
+            Some(tape.scale(diff, self.weight))
+        } else {
+            None
+        };
+
+        ForwardOutput { logits: h, regularizer }
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_support::{assert_model_learns, tiny_ctx};
+
+    #[test]
+    fn madreg_learns() {
+        let mut m = MadRegGcn::new(8, 3, &Hyper::default(), 0);
+        assert_model_learns(&mut m, 0);
+    }
+
+    #[test]
+    fn regularizer_present_in_train_absent_in_eval() {
+        let m = MadRegGcn::new(8, 3, &Hyper::default(), 0);
+        let (ctx, _) = tiny_ctx(1);
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut t1 = Tape::new();
+        let train = m.forward(&mut t1, &ctx, Mode::Train, &mut rng);
+        assert!(train.regularizer.is_some());
+        let mut t2 = Tape::new();
+        let eval = m.forward(&mut t2, &ctx, Mode::Eval, &mut rng);
+        assert!(eval.regularizer.is_none());
+    }
+
+    #[test]
+    fn regularizer_is_finite_scalar() {
+        let m = MadRegGcn::new(8, 3, &Hyper::default(), 0);
+        let (ctx, _) = tiny_ctx(2);
+        let mut rng = TensorRng::seed_from_u64(1);
+        let mut tape = Tape::new();
+        let out = m.forward(&mut tape, &ctx, Mode::Train, &mut rng);
+        let r = tape.value(out.regularizer.unwrap());
+        assert_eq!(r.shape(), (1, 1));
+        assert!(r.get(0, 0).is_finite());
+    }
+}

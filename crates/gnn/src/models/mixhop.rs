@@ -1,0 +1,143 @@
+//! MixHop (Abu-El-Haija et al., ICML'19): each layer mixes the powers of
+//! the adjacency — `concat_p(Â^p H W_p)` — so long-distance neighbors reach
+//! a node without deep stacking (§2.3 of the paper).
+
+use lasagne_autograd::{NodeId, ParamStore, Tape};
+use lasagne_tensor::TensorRng;
+
+use crate::layers::LinearLayer;
+use crate::models::{input_node, maybe_dropout};
+use crate::{ForwardOutput, GraphContext, Hyper, Mode, NodeClassifier};
+
+/// Two-level MixHop (the published configuration): each layer owns one
+/// weight matrix per adjacency power `p ∈ 0..=P`, and the outputs are
+/// concatenated; a linear head classifies.
+pub struct MixHop {
+    /// `layer_weights[l][p]` transforms the p-th power branch of layer l.
+    layer_weights: Vec<Vec<LinearLayer>>,
+    classifier: LinearLayer,
+    powers: usize,
+    dropout_keep: f32,
+    store: ParamStore,
+}
+
+impl MixHop {
+    /// `hyper.depth` mixing layers over powers `0..=hyper.mixhop_powers`.
+    pub fn new(in_dim: usize, num_classes: usize, hyper: &Hyper, seed: u64) -> MixHop {
+        assert!(hyper.depth >= 1, "MixHop: depth must be ≥ 1");
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let branches = hyper.mixhop_powers + 1;
+        let mut layer_weights = Vec::with_capacity(hyper.depth);
+        for l in 0..hyper.depth {
+            let din = if l == 0 { in_dim } else { hyper.hidden * branches };
+            let ws = (0..branches)
+                .map(|p| {
+                    LinearLayer::new(&mut store, &format!("mix{l}p{p}"), din, hyper.hidden, &mut rng)
+                })
+                .collect();
+            layer_weights.push(ws);
+        }
+        let classifier = LinearLayer::new(
+            &mut store,
+            "mix_out",
+            hyper.hidden * branches,
+            num_classes,
+            &mut rng,
+        );
+        MixHop {
+            layer_weights,
+            classifier,
+            powers: hyper.mixhop_powers,
+            dropout_keep: hyper.dropout_keep,
+            store,
+        }
+    }
+
+    fn mix_layer(
+        &self,
+        tape: &mut Tape,
+        ctx: &GraphContext,
+        weights: &[LinearLayer],
+        h: NodeId,
+    ) -> NodeId {
+        // Power branches share the propagation chain: Â⁰h, Â¹h, Â²h, …
+        let mut powered = h;
+        let mut branches = Vec::with_capacity(weights.len());
+        for (p, w) in weights.iter().enumerate() {
+            if p > 0 {
+                powered = tape.spmm(ctx.a_hat.clone(), powered);
+            }
+            branches.push(w.forward(tape, &self.store, powered));
+        }
+        let cat = tape.concat_cols(&branches);
+        tape.relu(cat)
+    }
+
+    /// Highest adjacency power mixed in.
+    pub fn powers(&self) -> usize {
+        self.powers
+    }
+}
+
+impl NodeClassifier for MixHop {
+    fn name(&self) -> String {
+        format!("MixHop-P{}", self.powers)
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &GraphContext,
+        mode: Mode,
+        rng: &mut TensorRng,
+    ) -> ForwardOutput {
+        let mut h = input_node(tape, ctx, mode, self.dropout_keep, rng);
+        for ws in &self.layer_weights {
+            h = self.mix_layer(tape, ctx, ws, h);
+            h = maybe_dropout(tape, h, mode, self.dropout_keep, rng);
+        }
+        let logits = self.classifier.forward(tape, &self.store, h);
+        ForwardOutput::logits(logits)
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_support::{assert_model_learns, tiny_ctx};
+
+    #[test]
+    fn mixhop_learns() {
+        let mut m = MixHop::new(8, 3, &Hyper::default(), 0);
+        assert_model_learns(&mut m, 0);
+    }
+
+    #[test]
+    fn powers_zero_reduces_to_mlp_structure() {
+        let h = Hyper { mixhop_powers: 0, ..Hyper::default() };
+        let m = MixHop::new(8, 3, &h, 0);
+        // One branch per layer + classifier = depth + 1 linear layers,
+        // 2 params each.
+        assert_eq!(m.store().len(), (h.depth + 1) * 2);
+    }
+
+    #[test]
+    fn high_powers_stay_finite() {
+        let h = Hyper { mixhop_powers: 5, ..Hyper::default() };
+        let m = MixHop::new(8, 3, &h, 0);
+        let (ctx, _) = tiny_ctx(1);
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut tape = Tape::new();
+        let out = m.forward(&mut tape, &ctx, Mode::Eval, &mut rng);
+        assert!(!tape.value(out.logits).has_non_finite());
+    }
+}

@@ -1,0 +1,141 @@
+//! ResGCN: GCN with residual (skip) connections between hidden layers, the
+//! ResNet-inspired deep variant the paper discusses in §2.2.
+
+use lasagne_autograd::{ParamStore, Tape};
+use lasagne_tensor::TensorRng;
+
+use crate::layers::GraphConvLayer;
+use crate::models::{input_node, maybe_dropout};
+use crate::{ForwardOutput, GraphContext, Hyper, Mode, NodeClassifier};
+
+/// `H(l+1) = ReLU(Â H(l) W(l)) + H(l)` on the hidden layers. The residual
+/// path requires all hidden dimensions to be equal — the restriction
+/// Lasagne's layer aggregators remove (§4.1).
+pub struct ResGcn {
+    input_layer: GraphConvLayer,
+    hidden_layers: Vec<GraphConvLayer>,
+    output_layer: GraphConvLayer,
+    dropout_keep: f32,
+    store: ParamStore,
+}
+
+impl ResGcn {
+    /// `hyper.depth` total GC layers (input + residual hidden + output).
+    pub fn new(in_dim: usize, num_classes: usize, hyper: &Hyper, seed: u64) -> ResGcn {
+        assert!(hyper.depth >= 2, "ResGcn: depth must be ≥ 2");
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let input_layer =
+            GraphConvLayer::new(&mut store, "gc0", in_dim, hyper.hidden, &mut rng);
+        let hidden_layers: Vec<GraphConvLayer> = (1..hyper.depth - 1)
+            .map(|l| {
+                GraphConvLayer::new(&mut store, &format!("gc{l}"), hyper.hidden, hyper.hidden, &mut rng)
+            })
+            .collect();
+        let output_layer = GraphConvLayer::new(
+            &mut store,
+            &format!("gc{}", hyper.depth - 1),
+            hyper.hidden,
+            num_classes,
+            &mut rng,
+        );
+        ResGcn {
+            input_layer,
+            hidden_layers,
+            output_layer,
+            dropout_keep: hyper.dropout_keep,
+            store,
+        }
+    }
+
+    /// Total GC layer count.
+    pub fn depth(&self) -> usize {
+        self.hidden_layers.len() + 2
+    }
+}
+
+impl NodeClassifier for ResGcn {
+    fn name(&self) -> String {
+        format!("ResGCN-{}", self.depth())
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &GraphContext,
+        mode: Mode,
+        rng: &mut TensorRng,
+    ) -> ForwardOutput {
+        self.forward_with_hiddens(tape, ctx, mode, rng).0
+    }
+
+    fn forward_with_hiddens(
+        &self,
+        tape: &mut Tape,
+        ctx: &GraphContext,
+        mode: Mode,
+        rng: &mut TensorRng,
+    ) -> (ForwardOutput, Vec<lasagne_autograd::NodeId>) {
+        let x = input_node(tape, ctx, mode, self.dropout_keep, rng);
+        let first = self.input_layer.forward(tape, &self.store, &ctx.a_hat, x);
+        let mut h = tape.relu(first);
+        let mut hiddens = vec![h];
+        for layer in &self.hidden_layers {
+            let hd = maybe_dropout(tape, h, mode, self.dropout_keep, rng);
+            let conv = layer.forward(tape, &self.store, &ctx.a_hat, hd);
+            let act = tape.relu(conv);
+            // Residual connection (ResNet-style identity skip).
+            h = tape.add(act, h);
+            hiddens.push(h);
+        }
+        let hd = maybe_dropout(tape, h, mode, self.dropout_keep, rng);
+        let logits = self.output_layer.forward(tape, &self.store, &ctx.a_hat, hd);
+        hiddens.push(logits);
+        (ForwardOutput::logits(logits), hiddens)
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_support::{assert_model_learns, tiny_ctx};
+
+    #[test]
+    fn resgcn_learns() {
+        let mut m = ResGcn::new(8, 3, &Hyper::default().with_depth(4), 0);
+        assert_model_learns(&mut m, 0);
+    }
+
+    #[test]
+    fn deep_resgcn_stays_finite() {
+        // 10 layers of un-normalized residual adds can blow up; Â's spectral
+        // radius ≤ 1 keeps activations bounded enough to stay finite.
+        let m = ResGcn::new(8, 3, &Hyper::default().with_depth(10), 1);
+        let (ctx, _) = tiny_ctx(1);
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut tape = Tape::new();
+        let out = m.forward(&mut tape, &ctx, Mode::Eval, &mut rng);
+        assert!(!tape.value(out.logits).has_non_finite());
+    }
+
+    #[test]
+    fn depth_accounts_all_layers() {
+        let m = ResGcn::new(8, 3, &Hyper::default().with_depth(6), 0);
+        assert_eq!(m.depth(), 6);
+        assert_eq!(m.name(), "ResGCN-6");
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be ≥ 2")]
+    fn rejects_single_layer() {
+        let _ = ResGcn::new(8, 3, &Hyper { depth: 1, ..Hyper::default() }, 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! GraphSAGE (Hamilton et al., NIPS'17) with the mean aggregator — the
+//! inductive baseline of Table 4.
+
+use lasagne_autograd::{ParamStore, Tape};
+use lasagne_tensor::TensorRng;
+
+use crate::layers::LinearLayer;
+use crate::models::{input_node, maybe_dropout};
+use crate::{ForwardOutput, GraphContext, Hyper, Mode, NodeClassifier};
+
+/// SAGE-mean: each layer computes `σ(W · [h ‖ mean_{j∈N(i)} h_j])`. All
+/// parameters are graph-size independent, so a model trained on the
+/// inductive training subgraph evaluates directly on the full graph.
+pub struct GraphSage {
+    layers: Vec<LinearLayer>,
+    dropout_keep: f32,
+    store: ParamStore,
+}
+
+impl GraphSage {
+    /// `hyper.depth` SAGE-mean layers.
+    pub fn new(in_dim: usize, num_classes: usize, hyper: &Hyper, seed: u64) -> GraphSage {
+        assert!(hyper.depth >= 1, "GraphSage: depth must be ≥ 1");
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let mut layers = Vec::with_capacity(hyper.depth);
+        for l in 0..hyper.depth {
+            let din = 2 * if l == 0 { in_dim } else { hyper.hidden };
+            let dout = if l + 1 == hyper.depth { num_classes } else { hyper.hidden };
+            layers.push(LinearLayer::new(&mut store, &format!("sage{l}"), din, dout, &mut rng));
+        }
+        GraphSage {
+            layers,
+            dropout_keep: hyper.dropout_keep,
+            store,
+        }
+    }
+}
+
+impl NodeClassifier for GraphSage {
+    fn name(&self) -> String {
+        format!("GraphSAGE-{}", self.layers.len())
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &GraphContext,
+        mode: Mode,
+        rng: &mut TensorRng,
+    ) -> ForwardOutput {
+        let mut h = input_node(tape, ctx, mode, self.dropout_keep, rng);
+        for (l, layer) in self.layers.iter().enumerate() {
+            let neigh = tape.spmm(ctx.rw_adj.clone(), h);
+            let cat = tape.concat_cols(&[h, neigh]);
+            h = layer.forward(tape, &self.store, cat);
+            if l + 1 < self.layers.len() {
+                h = tape.relu(h);
+                h = maybe_dropout(tape, h, mode, self.dropout_keep, rng);
+            }
+        }
+        ForwardOutput::logits(h)
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_support::{assert_model_learns, tiny_ctx};
+
+    #[test]
+    fn sage_learns() {
+        let mut m = GraphSage::new(8, 3, &Hyper::default(), 0);
+        assert_model_learns(&mut m, 0);
+    }
+
+    #[test]
+    fn same_weights_run_on_differently_sized_graphs() {
+        // The inductive property: a model built once forwards on a context
+        // with a different node count.
+        let m = GraphSage::new(8, 3, &Hyper::default(), 0);
+        let (big, _) = tiny_ctx(1);
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut t1 = Tape::new();
+        let a = m.forward(&mut t1, &big, Mode::Eval, &mut rng);
+        assert_eq!(t1.value(a.logits).rows(), 60);
+
+        // A smaller context with the same feature dim.
+        let g = lasagne_graph::Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let feats = rng.uniform_tensor(5, 8, -1.0, 1.0);
+        let small = crate::GraphContext::new(&g, feats, vec![0, 1, 2, 0, 1], 3);
+        let mut t2 = Tape::new();
+        let b = m.forward(&mut t2, &small, Mode::Eval, &mut rng);
+        assert_eq!(t2.value(b.logits).rows(), 5);
+    }
+}

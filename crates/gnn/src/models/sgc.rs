@@ -1,0 +1,115 @@
+//! SGC (Wu et al., ICML'19): GCN with all nonlinearities removed —
+//! `softmax(Â^K X W)` — one of the Table 7 base models.
+
+use lasagne_autograd::{ParamStore, Tape};
+use lasagne_tensor::{Tensor, TensorRng};
+
+use crate::layers::LinearLayer;
+use crate::models::maybe_dropout;
+use crate::{ForwardOutput, GraphContext, Hyper, Mode, NodeClassifier};
+
+/// Simplified graph convolution: the propagation `Â^K X` carries no
+/// parameters, so it is computed outside the tape; only the logistic
+/// regression head is trained.
+pub struct Sgc {
+    classifier: LinearLayer,
+    k: usize,
+    dropout_keep: f32,
+    store: ParamStore,
+}
+
+impl Sgc {
+    /// `K = hyper.sgc_k` propagation steps.
+    pub fn new(in_dim: usize, num_classes: usize, hyper: &Hyper, seed: u64) -> Sgc {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let classifier = LinearLayer::new(&mut store, "sgc", in_dim, num_classes, &mut rng);
+        Sgc {
+            classifier,
+            k: hyper.sgc_k,
+            dropout_keep: hyper.dropout_keep,
+            store,
+        }
+    }
+
+    /// `Â^K X` for the given context (recomputed per call so the model stays
+    /// context-agnostic; K sparse products are cheap relative to training).
+    pub fn propagate(&self, ctx: &GraphContext) -> Tensor {
+        let mut p = (*ctx.features).clone();
+        for _ in 0..self.k {
+            p = ctx.a_hat.spmm(&p);
+        }
+        p
+    }
+
+    /// Propagation steps K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl NodeClassifier for Sgc {
+    fn name(&self) -> String {
+        format!("SGC-K{}", self.k)
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &GraphContext,
+        mode: Mode,
+        rng: &mut TensorRng,
+    ) -> ForwardOutput {
+        let propagated = tape.constant(self.propagate(ctx));
+        let x = maybe_dropout(tape, propagated, mode, self.dropout_keep, rng);
+        let logits = self.classifier.forward(tape, &self.store, x);
+        ForwardOutput::logits(logits)
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_support::{assert_model_learns, tiny_ctx};
+
+    #[test]
+    fn sgc_learns() {
+        let mut m = Sgc::new(8, 3, &Hyper::default(), 0);
+        assert_model_learns(&mut m, 0);
+    }
+
+    #[test]
+    fn propagation_smooths_features() {
+        // Propagation contracts toward the dominant eigenvector: the
+        // variance of features across nodes must shrink.
+        let (ctx, _) = tiny_ctx(1);
+        let m = Sgc::new(8, 3, &Hyper { sgc_k: 8, ..Hyper::default() }, 0);
+        let p = m.propagate(&ctx);
+        let var = |t: &Tensor| {
+            let mean = t.mean_rows();
+            let mut acc = 0.0;
+            for i in 0..t.rows() {
+                for (v, &mu) in t.row(i).iter().zip(mean.row(0)) {
+                    acc += (v - mu) * (v - mu);
+                }
+            }
+            acc / t.len() as f32
+        };
+        assert!(var(&p) < var(&ctx.features), "propagation must smooth");
+    }
+
+    #[test]
+    fn k_zero_is_plain_logreg() {
+        let (ctx, _) = tiny_ctx(2);
+        let m = Sgc::new(8, 3, &Hyper { sgc_k: 0, ..Hyper::default() }, 0);
+        assert!(m.propagate(&ctx).approx_eq(&ctx.features, 0.0));
+    }
+}

@@ -1,0 +1,238 @@
+//! Subgraph batch strategies: the *training procedures* behind ClusterGCN
+//! and GraphSAINT (Table 4). Both train an ordinary GCN — what changes is
+//! the graph each optimization step sees.
+
+use lasagne_datasets::Dataset;
+use lasagne_tensor::TensorRng;
+
+use crate::GraphContext;
+
+/// One training batch: a (sub)graph context plus the local indices to
+/// compute the loss on.
+pub struct TrainBatch {
+    /// The context models forward on this step.
+    pub ctx: GraphContext,
+    /// Loss nodes, as indices into `ctx`.
+    pub train_idx: Vec<usize>,
+}
+
+/// Produces the context used for each training step.
+pub trait BatchStrategy {
+    /// Strategy name (for logging).
+    fn name(&self) -> &'static str;
+    /// The batch for optimization step `step`.
+    fn batch(&mut self, step: usize, rng: &mut TensorRng) -> &TrainBatch;
+}
+
+/// Full-batch training on a fixed context (the default for every
+/// transductive model, and for GraphSAGE/FastGCN whose sampling happens
+/// inside the model).
+pub struct FullBatch {
+    batch: TrainBatch,
+}
+
+impl FullBatch {
+    /// Train on `ctx` with the given loss indices every step.
+    pub fn new(ctx: GraphContext, train_idx: Vec<usize>) -> FullBatch {
+        FullBatch {
+            batch: TrainBatch { ctx, train_idx },
+        }
+    }
+
+    /// Full-batch over a dataset's training split.
+    pub fn from_dataset(ds: &Dataset) -> FullBatch {
+        FullBatch::new(GraphContext::from_dataset(ds), ds.split.train.clone())
+    }
+}
+
+impl BatchStrategy for FullBatch {
+    fn name(&self) -> &'static str {
+        "full"
+    }
+    fn batch(&mut self, _step: usize, _rng: &mut TensorRng) -> &TrainBatch {
+        &self.batch
+    }
+}
+
+/// ClusterGCN (Chiang et al., KDD'19): partition the training graph once,
+/// then cycle through partition-induced subgraphs, "limiting the training
+/// inside graph partitions to alleviate the neighborhood expansion".
+pub struct ClusterBatches {
+    batches: Vec<TrainBatch>,
+}
+
+impl ClusterBatches {
+    /// Partition `ds`'s *training* view into `k` BFS-grown clusters.
+    ///
+    /// For an inductive dataset the training view is the induced training
+    /// subgraph; for a transductive one it is the full graph with loss
+    /// restricted to training nodes inside each cluster.
+    pub fn new(ds: &Dataset, k: usize, rng: &mut TensorRng) -> ClusterBatches {
+        let parts = lasagne_graph::partition_bfs(&ds.graph, k, rng);
+        let mut is_train = vec![false; ds.num_nodes()];
+        for &v in &ds.split.train {
+            is_train[v] = true;
+        }
+        let mut batches = Vec::with_capacity(parts.len());
+        for part in &parts {
+            let train_idx: Vec<usize> = part
+                .iter()
+                .enumerate()
+                .filter(|&(_, &orig)| is_train[orig])
+                .map(|(local, _)| local)
+                .collect();
+            if train_idx.is_empty() {
+                continue; // nothing to learn from in this cluster
+            }
+            let sub = ds.graph.induced_subgraph(part);
+            let feats = ds.features.gather_rows(part);
+            let labels: Vec<usize> = part.iter().map(|&v| ds.labels[v]).collect();
+            let ctx = GraphContext::new(&sub, feats, labels, ds.num_classes);
+            batches.push(TrainBatch { ctx, train_idx });
+        }
+        assert!(!batches.is_empty(), "ClusterBatches: no cluster holds a training node");
+        ClusterBatches { batches }
+    }
+
+    /// Number of usable clusters.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// True when no cluster contains training nodes (cannot happen after
+    /// construction, kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+}
+
+impl BatchStrategy for ClusterBatches {
+    fn name(&self) -> &'static str {
+        "clustergcn"
+    }
+    fn batch(&mut self, step: usize, _rng: &mut TensorRng) -> &TrainBatch {
+        &self.batches[step % self.batches.len()]
+    }
+}
+
+/// GraphSAINT (Zeng et al., ICLR'20) with the node sampler: each step
+/// trains on the subgraph induced by a fresh random node sample.
+pub struct SaintNodeSampler {
+    ds: Dataset,
+    sample_size: usize,
+    is_train: Vec<bool>,
+    current: Option<TrainBatch>,
+}
+
+impl SaintNodeSampler {
+    /// Sample `sample_size` nodes per step from `ds`.
+    pub fn new(ds: &Dataset, sample_size: usize) -> SaintNodeSampler {
+        let mut is_train = vec![false; ds.num_nodes()];
+        for &v in &ds.split.train {
+            is_train[v] = true;
+        }
+        SaintNodeSampler {
+            ds: ds.clone(),
+            sample_size: sample_size.min(ds.num_nodes()),
+            is_train,
+            current: None,
+        }
+    }
+}
+
+impl BatchStrategy for SaintNodeSampler {
+    fn name(&self) -> &'static str {
+        "graphsaint"
+    }
+
+    fn batch(&mut self, _step: usize, rng: &mut TensorRng) -> &TrainBatch {
+        // Resample until the subgraph contains at least one training node
+        // (instant on realistic splits).
+        loop {
+            let nodes = rng.sample_indices(self.ds.num_nodes(), self.sample_size);
+            let train_idx: Vec<usize> = nodes
+                .iter()
+                .enumerate()
+                .filter(|&(_, &orig)| self.is_train[orig])
+                .map(|(local, _)| local)
+                .collect();
+            if train_idx.is_empty() {
+                continue;
+            }
+            let sub = self.ds.graph.induced_subgraph(&nodes);
+            let feats = self.ds.features.gather_rows(&nodes);
+            let labels: Vec<usize> = nodes.iter().map(|&v| self.ds.labels[v]).collect();
+            let ctx = GraphContext::new(&sub, feats, labels, self.ds.num_classes);
+            self.current = Some(TrainBatch { ctx, train_idx });
+            return self.current.as_ref().expect("just set");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasagne_datasets::DatasetId;
+
+    fn small_ds() -> Dataset {
+        Dataset::generate(DatasetId::Cora, 0)
+    }
+
+    #[test]
+    fn full_batch_is_stable() {
+        let ds = small_ds();
+        let mut fb = FullBatch::from_dataset(&ds);
+        let mut rng = TensorRng::seed_from_u64(0);
+        let b = fb.batch(0, &mut rng);
+        assert_eq!(b.ctx.num_nodes(), ds.num_nodes());
+        assert_eq!(b.train_idx, ds.split.train);
+    }
+
+    #[test]
+    fn cluster_batches_cover_training_nodes() {
+        let ds = small_ds();
+        let mut rng = TensorRng::seed_from_u64(1);
+        let mut cb = ClusterBatches::new(&ds, 8, &mut rng);
+        assert!(cb.len() >= 2, "expected several usable clusters");
+        let total_train: usize = (0..cb.len())
+            .map(|s| cb.batch(s, &mut rng).train_idx.len())
+            .sum();
+        assert_eq!(total_train, ds.split.train.len());
+        // Cluster contexts are genuinely smaller than the full graph.
+        assert!(cb.batch(0, &mut rng).ctx.num_nodes() < ds.num_nodes());
+    }
+
+    #[test]
+    fn cluster_batch_labels_are_consistent() {
+        let ds = small_ds();
+        let mut rng = TensorRng::seed_from_u64(2);
+        let mut cb = ClusterBatches::new(&ds, 4, &mut rng);
+        let b = cb.batch(0, &mut rng);
+        for &local in &b.train_idx {
+            assert!(local < b.ctx.num_nodes());
+            assert!(b.ctx.labels[local] < ds.num_classes);
+        }
+    }
+
+    #[test]
+    fn saint_resamples_each_step() {
+        let ds = small_ds();
+        let mut sampler = SaintNodeSampler::new(&ds, 300);
+        let mut rng = TensorRng::seed_from_u64(3);
+        let n1 = sampler.batch(0, &mut rng).ctx.num_nodes();
+        let f1 = sampler.batch(0, &mut rng).ctx.features.clone();
+        let f2 = sampler.batch(1, &mut rng).ctx.features.clone();
+        assert_eq!(n1, 300);
+        assert!(!f1.approx_eq(&f2, 1e-9), "expected different samples");
+    }
+
+    #[test]
+    fn saint_batches_always_contain_training_nodes() {
+        let ds = small_ds();
+        let mut sampler = SaintNodeSampler::new(&ds, 200);
+        let mut rng = TensorRng::seed_from_u64(4);
+        for step in 0..5 {
+            assert!(!sampler.batch(step, &mut rng).train_idx.is_empty());
+        }
+    }
+}

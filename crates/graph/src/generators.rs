@@ -1,0 +1,382 @@
+//! Random-graph generators with planted community structure and hubs.
+//!
+//! These stand in for the paper's datasets (see DESIGN.md §3). The key
+//! requirement, dictated by the paper's node-locality argument, is that
+//! graphs must have **both** hubs (high-degree nodes whose multi-hop
+//! neighborhoods cross cluster boundaries and over-smooth) and peripheral
+//! nodes (which need depth to see enough signal). A degree-corrected
+//! stochastic block model delivers exactly that.
+
+use std::collections::HashSet;
+
+use lasagne_tensor::TensorRng;
+
+use crate::Graph;
+
+/// Configuration of the degree-corrected stochastic block model.
+#[derive(Clone, Debug)]
+pub struct DcSbmConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of planted communities (= classes).
+    pub classes: usize,
+    /// Target mean degree.
+    pub avg_degree: f64,
+    /// Probability an edge stays within its endpoint's community.
+    pub homophily: f64,
+    /// Pareto exponent of node propensity weights (2–3 gives realistic
+    /// heavy-tailed hubs).
+    pub power_exponent: f64,
+    /// Clip on `max weight / min weight` (keeps the biggest hub bounded).
+    pub max_weight_ratio: f64,
+}
+
+/// Weighted sampler over a fixed set of node ids: cumulative sums + binary
+/// search.
+struct WeightedPool {
+    ids: Vec<u32>,
+    cumulative: Vec<f64>,
+}
+
+impl WeightedPool {
+    fn new(ids: Vec<u32>, weights: &[f64]) -> WeightedPool {
+        let mut cumulative = Vec::with_capacity(ids.len());
+        let mut acc = 0.0;
+        for &id in &ids {
+            acc += weights[id as usize];
+            cumulative.push(acc);
+        }
+        WeightedPool { ids, cumulative }
+    }
+
+    fn sample(&self, rng: &mut TensorRng) -> u32 {
+        let total = *self.cumulative.last().expect("non-empty pool");
+        let t = rng.uniform(0.0, 1.0) as f64 * total;
+        let k = self.cumulative.partition_point(|&c| c < t);
+        self.ids[k.min(self.ids.len() - 1)]
+    }
+}
+
+/// Pareto-distributed node weight in `[1, ratio]`.
+fn pareto_weight(rng: &mut TensorRng, exponent: f64, ratio: f64) -> f64 {
+    let u: f64 = rng.uniform(f32::EPSILON, 1.0) as f64;
+    u.powf(-1.0 / (exponent - 1.0)).min(ratio)
+}
+
+/// Degree-corrected SBM: returns the graph and the planted community label
+/// of every node. Degrees are heavy-tailed (hubs), and a `homophily`
+/// fraction of edges stay inside their community.
+pub fn dc_sbm(cfg: &DcSbmConfig, rng: &mut TensorRng) -> (Graph, Vec<usize>) {
+    assert!(cfg.classes >= 1, "dc_sbm: need at least one class");
+    assert!(cfg.nodes >= cfg.classes * 2, "dc_sbm: too few nodes per class");
+    assert!(
+        (0.0..=1.0).contains(&cfg.homophily),
+        "dc_sbm: homophily {} outside [0,1]",
+        cfg.homophily
+    );
+    assert!(cfg.power_exponent > 1.0, "dc_sbm: exponent must exceed 1");
+
+    let n = cfg.nodes;
+    // Balanced random community assignment.
+    let mut labels: Vec<usize> = (0..n).map(|i| i % cfg.classes).collect();
+    rng.shuffle(&mut labels);
+
+    let weights: Vec<f64> = (0..n)
+        .map(|_| pareto_weight(rng, cfg.power_exponent, cfg.max_weight_ratio))
+        .collect();
+
+    let mut per_class_ids: Vec<Vec<u32>> = vec![Vec::new(); cfg.classes];
+    for (v, &c) in labels.iter().enumerate() {
+        per_class_ids[c].push(v as u32);
+    }
+    let class_pools: Vec<WeightedPool> = per_class_ids
+        .into_iter()
+        .map(|ids| WeightedPool::new(ids, &weights))
+        .collect();
+    let global_pool = WeightedPool::new((0..n as u32).collect(), &weights);
+
+    let target_edges = (n as f64 * cfg.avg_degree / 2.0).round() as usize;
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(target_edges);
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(target_edges * 2);
+    let mut attempts = 0usize;
+    let max_attempts = target_edges * 20 + 1000;
+    while edges.len() < target_edges && attempts < max_attempts {
+        attempts += 1;
+        let u = global_pool.sample(rng);
+        let v = if rng.bernoulli(cfg.homophily as f32) {
+            class_pools[labels[u as usize]].sample(rng)
+        } else if cfg.classes > 1 {
+            // Pick a different community uniformly, then a node by weight.
+            let mut other = rng.index(cfg.classes);
+            if other == labels[u as usize] {
+                other = (other + 1) % cfg.classes;
+            }
+            class_pools[other].sample(rng)
+        } else {
+            global_pool.sample(rng)
+        };
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            edges.push(key);
+        }
+    }
+    (Graph::from_edges(n, &edges), labels)
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches `m`
+/// edges to existing nodes with probability proportional to degree.
+/// Produces scale-free degree distributions (pure hub structure, no
+/// communities) — used for ablations and generator cross-checks.
+pub fn barabasi_albert(n: usize, m: usize, rng: &mut TensorRng) -> Graph {
+    assert!(m >= 1 && n > m, "barabasi_albert: need n > m ≥ 1");
+    // `targets` holds one entry per half-edge: sampling uniformly from it is
+    // sampling nodes proportionally to degree.
+    let mut repeated: Vec<u32> = Vec::with_capacity(2 * n * m);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * m);
+    // Seed clique over the first m+1 nodes.
+    for u in 0..=(m as u32) {
+        for v in (u + 1)..=(m as u32) {
+            edges.push((u, v));
+            repeated.push(u);
+            repeated.push(v);
+        }
+    }
+    for new in (m + 1)..n {
+        let mut chosen: HashSet<u32> = HashSet::with_capacity(m);
+        while chosen.len() < m {
+            let t = repeated[rng.index(repeated.len())];
+            chosen.insert(t);
+        }
+        for &t in &chosen {
+            edges.push((new as u32, t));
+            repeated.push(new as u32);
+            repeated.push(t);
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Configuration of the bipartite user–item generator (the Tencent
+/// production-dataset substitute; see DESIGN.md §3).
+#[derive(Clone, Debug)]
+pub struct BipartiteConfig {
+    /// Number of item (short-video) nodes — these carry the labels.
+    pub items: usize,
+    /// Number of user nodes.
+    pub users: usize,
+    /// Number of item classes.
+    pub classes: usize,
+    /// Mean number of items each user interacts with.
+    pub avg_user_degree: f64,
+    /// Pareto exponent of item popularity ("hot" videos).
+    pub popularity_exponent: f64,
+    /// Probability a user interaction stays inside the user's preferred
+    /// class; the remainder goes to globally-popular items of any class,
+    /// which is exactly what makes hot items indistinguishable by naive
+    /// aggregation (§5.2.1 "Production").
+    pub user_focus: f64,
+}
+
+/// Output of [`bipartite_user_item`]: item nodes come first (`0..items`),
+/// then user nodes (`items..items+users`).
+pub struct BipartiteGraph {
+    /// The full bipartite interaction graph.
+    pub graph: Graph,
+    /// Class label per item node.
+    pub item_labels: Vec<usize>,
+    /// Preferred class per user node.
+    pub user_prefs: Vec<usize>,
+    /// Popularity weight per item (Pareto).
+    pub item_popularity: Vec<f64>,
+}
+
+/// Generate the bipartite user–item graph.
+pub fn bipartite_user_item(cfg: &BipartiteConfig, rng: &mut TensorRng) -> BipartiteGraph {
+    assert!(cfg.classes >= 1 && cfg.items >= cfg.classes, "bipartite: sizes");
+    let mut item_labels: Vec<usize> = (0..cfg.items).map(|i| i % cfg.classes).collect();
+    rng.shuffle(&mut item_labels);
+    let item_popularity: Vec<f64> = (0..cfg.items)
+        .map(|_| pareto_weight(rng, cfg.popularity_exponent, 1000.0))
+        .collect();
+
+    let mut per_class: Vec<Vec<u32>> = vec![Vec::new(); cfg.classes];
+    for (i, &c) in item_labels.iter().enumerate() {
+        per_class[c].push(i as u32);
+    }
+    let class_pools: Vec<WeightedPool> = per_class
+        .into_iter()
+        .map(|ids| WeightedPool::new(ids, &item_popularity))
+        .collect();
+    let global_pool = WeightedPool::new((0..cfg.items as u32).collect(), &item_popularity);
+
+    let user_prefs: Vec<usize> = (0..cfg.users).map(|_| rng.index(cfg.classes)).collect();
+    let n = cfg.items + cfg.users;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
+    for (u, &pref) in user_prefs.iter().enumerate() {
+        let user_node = (cfg.items + u) as u32;
+        // Poisson-ish interaction count around the mean, at least 1.
+        let k = (cfg.avg_user_degree * (0.5 + rng.uniform(0.0, 1.0) as f64))
+            .round()
+            .max(1.0) as usize;
+        let mut tries = 0;
+        let mut added = 0;
+        while added < k && tries < k * 10 {
+            tries += 1;
+            let item = if rng.bernoulli(cfg.user_focus as f32) {
+                class_pools[pref].sample(rng)
+            } else {
+                global_pool.sample(rng)
+            };
+            if seen.insert((item, user_node)) {
+                edges.push((item, user_node));
+                added += 1;
+            }
+        }
+    }
+    BipartiteGraph {
+        graph: Graph::from_edges(n, &edges),
+        item_labels,
+        user_prefs,
+        item_popularity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(nodes: usize) -> DcSbmConfig {
+        DcSbmConfig {
+            nodes,
+            classes: 5,
+            avg_degree: 8.0,
+            homophily: 0.85,
+            power_exponent: 2.5,
+            max_weight_ratio: 100.0,
+        }
+    }
+
+    #[test]
+    fn dc_sbm_sizes_and_determinism() {
+        let mut r1 = TensorRng::seed_from_u64(42);
+        let mut r2 = TensorRng::seed_from_u64(42);
+        let (g1, l1) = dc_sbm(&cfg(500), &mut r1);
+        let (g2, l2) = dc_sbm(&cfg(500), &mut r2);
+        assert_eq!(g1.num_nodes(), 500);
+        assert_eq!(l1, l2);
+        assert_eq!(g1.edges(), g2.edges());
+    }
+
+    #[test]
+    fn dc_sbm_hits_target_degree() {
+        let mut rng = TensorRng::seed_from_u64(0);
+        let (g, _) = dc_sbm(&cfg(2000), &mut rng);
+        let avg = g.average_degree();
+        assert!((avg - 8.0).abs() < 1.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn dc_sbm_homophily_close_to_config() {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let (g, labels) = dc_sbm(&cfg(2000), &mut rng);
+        let h = g.edge_homophily(&labels);
+        // The within-class endpoint is drawn by weight, so realized edge
+        // homophily tracks the mixing parameter closely.
+        assert!((h - 0.85).abs() < 0.06, "homophily {h}");
+    }
+
+    #[test]
+    fn dc_sbm_has_hubs() {
+        let mut rng = TensorRng::seed_from_u64(2);
+        let (g, _) = dc_sbm(&cfg(2000), &mut rng);
+        let max_deg = *g.degrees().iter().max().unwrap();
+        let avg = g.average_degree();
+        assert!(
+            max_deg as f64 > 5.0 * avg,
+            "max degree {max_deg} vs avg {avg} — expected heavy tail"
+        );
+    }
+
+    #[test]
+    fn dc_sbm_balanced_classes() {
+        let mut rng = TensorRng::seed_from_u64(3);
+        let (_, labels) = dc_sbm(&cfg(500), &mut rng);
+        let mut counts = vec![0usize; 5];
+        for &l in &labels {
+            counts[l] += 1;
+        }
+        for &c in &counts {
+            assert_eq!(c, 100);
+        }
+    }
+
+    #[test]
+    fn ba_degree_sum_and_connectivity() {
+        let mut rng = TensorRng::seed_from_u64(4);
+        let g = barabasi_albert(300, 3, &mut rng);
+        assert_eq!(g.num_nodes(), 300);
+        // Seed clique C(4,2)=6 + 296*3 new edges (dedup can only reduce the
+        // clique part, which is exact).
+        assert_eq!(g.num_edges(), 6 + 296 * 3);
+        let (_, comps) = crate::connected_components(&g);
+        assert_eq!(comps, 1, "BA graphs are connected by construction");
+    }
+
+    #[test]
+    fn ba_is_scale_free_ish() {
+        let mut rng = TensorRng::seed_from_u64(5);
+        let g = barabasi_albert(2000, 2, &mut rng);
+        let max_deg = *g.degrees().iter().max().unwrap();
+        assert!(max_deg > 40, "expected a hub, max degree {max_deg}");
+    }
+
+    #[test]
+    fn bipartite_structure() {
+        let mut rng = TensorRng::seed_from_u64(6);
+        let b = bipartite_user_item(
+            &BipartiteConfig {
+                items: 300,
+                users: 200,
+                classes: 6,
+                avg_user_degree: 5.0,
+                popularity_exponent: 2.0,
+                user_focus: 0.8,
+            },
+            &mut rng,
+        );
+        assert_eq!(b.graph.num_nodes(), 500);
+        assert_eq!(b.item_labels.len(), 300);
+        assert_eq!(b.user_prefs.len(), 200);
+        // Bipartite: every edge joins an item (< 300) and a user (≥ 300).
+        for &(u, v) in b.graph.edges() {
+            assert!((u as usize) < 300 && (v as usize) >= 300);
+        }
+    }
+
+    #[test]
+    fn bipartite_hot_items_exist() {
+        let mut rng = TensorRng::seed_from_u64(7);
+        let b = bipartite_user_item(
+            &BipartiteConfig {
+                items: 300,
+                users: 1000,
+                classes: 6,
+                avg_user_degree: 6.0,
+                popularity_exponent: 1.8,
+                user_focus: 0.7,
+            },
+            &mut rng,
+        );
+        let item_degrees: Vec<usize> = (0..300).map(|i| b.graph.degree(i)).collect();
+        let max = *item_degrees.iter().max().unwrap();
+        let mean = item_degrees.iter().sum::<usize>() as f64 / 300.0;
+        assert!(
+            max as f64 > 4.0 * mean,
+            "hot item degree {max} vs mean {mean}"
+        );
+    }
+}

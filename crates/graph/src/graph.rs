@@ -1,0 +1,185 @@
+//! The [`Graph`] type: a simple undirected graph with a cached symmetric CSR
+//! adjacency, the structure every model propagates over.
+
+use lasagne_sparse::Csr;
+
+/// Undirected simple graph (no self-loops, no multi-edges).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    n: usize,
+    /// Canonical unique edge list, `u < v`.
+    edges: Vec<(u32, u32)>,
+    /// Symmetric unweighted adjacency (both directions stored).
+    adj: Csr,
+}
+
+impl Graph {
+    /// Build from an edge list. Self-loops are dropped, duplicates (in
+    /// either orientation) are merged.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Graph {
+        let mut canon: Vec<(u32, u32)> = edges
+            .iter()
+            .filter(|(u, v)| u != v)
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        canon.sort_unstable();
+        canon.dedup();
+        for &(u, v) in &canon {
+            assert!(
+                (v as usize) < n,
+                "from_edges: edge ({u},{v}) outside 0..{n}"
+            );
+        }
+        let mut coo = Vec::with_capacity(canon.len() * 2);
+        for &(u, v) in &canon {
+            coo.push((u, v, 1.0));
+            coo.push((v, u, 1.0));
+        }
+        let adj = Csr::from_coo(n, n, &coo);
+        Graph { n, edges: canon, adj }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The canonical `(u, v)` edge list with `u < v`.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// The symmetric unweighted adjacency as CSR.
+    pub fn adjacency(&self) -> &Csr {
+        &self.adj
+    }
+
+    /// The GCN propagation operator `Â = D̃^{-1/2}(A+I)D̃^{-1/2}` (Eq 1).
+    pub fn normalized_adjacency(&self) -> Csr {
+        self.adj.gcn_normalize()
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        self.adj.row_indices(v)
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj.row_nnz(v)
+    }
+
+    /// Degrees of all nodes.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.n).map(|v| self.degree(v)).collect()
+    }
+
+    /// Mean degree (`2m / n`).
+    pub fn average_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.edges.len() as f64 / self.n as f64
+        }
+    }
+
+    /// Induced subgraph on `nodes` (renumbered to `0..nodes.len()`, in the
+    /// given order). Used by the ClusterGCN / GraphSAINT / inductive-split
+    /// code paths.
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> Graph {
+        let mut inv = vec![u32::MAX; self.n];
+        for (new, &old) in nodes.iter().enumerate() {
+            inv[old] = new as u32;
+        }
+        let mut edges = Vec::new();
+        for &(u, v) in &self.edges {
+            let (nu, nv) = (inv[u as usize], inv[v as usize]);
+            if nu != u32::MAX && nv != u32::MAX {
+                edges.push((nu, nv));
+            }
+        }
+        Graph::from_edges(nodes.len(), &edges)
+    }
+
+    /// Fraction of edges whose endpoints share a label (edge homophily).
+    pub fn edge_homophily(&self, labels: &[usize]) -> f64 {
+        assert_eq!(labels.len(), self.n, "edge_homophily: label count");
+        if self.edges.is_empty() {
+            return 0.0;
+        }
+        let same = self
+            .edges
+            .iter()
+            .filter(|&&(u, v)| labels[u as usize] == labels[v as usize])
+            .count();
+        same as f64 / self.edges.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = path4();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.average_degree(), 1.5);
+        assert_eq!(g.degrees(), vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn dedup_and_orientation() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edges(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = path4();
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn normalized_adjacency_shape() {
+        let g = path4();
+        let a = g.normalized_adjacency();
+        assert_eq!(a.shape(), (4, 4));
+        // Self-loops present on the diagonal.
+        assert!(a.to_dense()[(0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = path4();
+        let s = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(s.num_nodes(), 3);
+        assert_eq!(s.num_edges(), 2); // 1-2 and 2-3 survive, renumbered
+        assert_eq!(s.edges(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn homophily_counts_same_label_edges() {
+        let g = path4();
+        assert_eq!(g.edge_homophily(&[0, 0, 1, 1]), 2.0 / 3.0);
+        assert_eq!(g.edge_homophily(&[0, 0, 0, 0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_edge_panics() {
+        let _ = Graph::from_edges(2, &[(0, 5)]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Structural statistics used to sanity-check the generators against the
+//! real datasets they substitute for: degree distribution summaries,
+//! degree assortativity and k-core decomposition.
+
+use crate::Graph;
+
+/// Summary of a degree distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree (hub size).
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// Fraction of nodes whose degree exceeds 4× the mean ("hubs").
+    pub hub_fraction: f64,
+}
+
+/// Degree distribution summary.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let mut degrees = g.degrees();
+    if degrees.is_empty() {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, median: 0, hub_fraction: 0.0 };
+    }
+    degrees.sort_unstable();
+    let n = degrees.len();
+    let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+    let hubs = degrees.iter().filter(|&&d| d as f64 > 4.0 * mean).count();
+    DegreeStats {
+        min: degrees[0],
+        max: degrees[n - 1],
+        mean,
+        median: degrees[n / 2],
+        hub_fraction: hubs as f64 / n as f64,
+    }
+}
+
+/// Histogram of degrees in log₂ buckets `[1, 2), [2, 4), [4, 8), …` plus a
+/// zero bucket; returns `(bucket_lower_bound, count)` pairs.
+pub fn degree_histogram(g: &Graph) -> Vec<(usize, usize)> {
+    let mut buckets: Vec<(usize, usize)> = vec![(0, 0)];
+    for d in g.degrees() {
+        if d == 0 {
+            buckets[0].1 += 1;
+            continue;
+        }
+        let b = (usize::BITS - 1 - d.leading_zeros()) as usize; // floor(log2 d)
+        while buckets.len() <= b + 1 {
+            let lower = 1usize << (buckets.len() - 1);
+            buckets.push((lower, 0));
+        }
+        buckets[b + 1].1 += 1;
+    }
+    buckets
+}
+
+/// Pearson degree assortativity: correlation of endpoint degrees over all
+/// edges. Positive = hubs link to hubs; social networks are typically
+/// positive, citation/biological networks negative. Returns 0 for graphs
+/// with no degree variance.
+pub fn degree_assortativity(g: &Graph) -> f64 {
+    let m = g.num_edges();
+    if m == 0 {
+        return 0.0;
+    }
+    // Treat each undirected edge as two ordered pairs (the standard Newman
+    // formulation).
+    let mut sum_xy = 0.0f64;
+    let mut sum_x = 0.0f64;
+    let mut sum_x2 = 0.0f64;
+    let count = (2 * m) as f64;
+    for &(u, v) in g.edges() {
+        let du = g.degree(u as usize) as f64;
+        let dv = g.degree(v as usize) as f64;
+        sum_xy += 2.0 * du * dv;
+        sum_x += du + dv;
+        sum_x2 += du * du + dv * dv;
+    }
+    let mean = sum_x / count;
+    let var = sum_x2 / count - mean * mean;
+    if var <= 1e-12 {
+        return 0.0;
+    }
+    (sum_xy / count - mean * mean) / var
+}
+
+/// K-core decomposition: `core[v]` is the largest k such that `v` belongs
+/// to a subgraph where every node has degree ≥ k (Matula–Beck peeling,
+/// O(N + M)).
+pub fn k_core(g: &Graph) -> Vec<usize> {
+    let n = g.num_nodes();
+    let mut degree = g.degrees();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    // Bucket queue by current degree.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_deg + 1];
+    for (v, &d) in degree.iter().enumerate() {
+        buckets[d].push(v);
+    }
+    let mut core = vec![0usize; n];
+    let mut removed = vec![false; n];
+    let mut k = 0usize;
+    let mut processed = 0usize;
+    while processed < n {
+        // Find the lowest non-empty bucket.
+        let mut d = 0;
+        loop {
+            if d >= buckets.len() {
+                // All remaining nodes were moved to other buckets; rebuild.
+                unreachable!("bucket queue exhausted before all nodes processed");
+            }
+            if let Some(&v) = buckets[d].last() {
+                if removed[v] || degree[v] != d {
+                    buckets[d].pop(); // stale entry
+                    continue;
+                }
+                break;
+            }
+            d += 1;
+        }
+        k = k.max(d);
+        let v = buckets[d].pop().expect("checked non-empty");
+        removed[v] = true;
+        core[v] = k;
+        processed += 1;
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            if !removed[u] && degree[u] > d {
+                degree[u] -= 1;
+                buckets[degree[u]].push(u);
+            }
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (0, v)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn degree_stats_on_star() {
+        let s = degree_stats(&star(11));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 10);
+        assert_eq!(s.median, 1);
+        assert!((s.mean - 20.0 / 11.0).abs() < 1e-9);
+        // The center is the single hub (10 > 4·1.8).
+        assert!((s.hub_fraction - 1.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let g = star(9); // center degree 8, leaves degree 1
+        let h = degree_histogram(&g);
+        // Buckets: 0:[0], 1:[1,2), 2:[2,4), 4:[4,8), 8:[8,16)
+        assert_eq!(h[0], (0, 0));
+        assert_eq!(h[1], (1, 8)); // eight leaves
+        let last = *h.last().unwrap();
+        assert_eq!(last, (8, 1)); // the center
+    }
+
+    #[test]
+    fn star_is_disassortative() {
+        // Hubs connecting to leaves only ⇒ negative assortativity.
+        assert!(degree_assortativity(&star(20)) < -0.5);
+    }
+
+    #[test]
+    fn regular_ring_has_no_degree_variance() {
+        let edges: Vec<(u32, u32)> = (0..10u32).map(|i| (i, (i + 1) % 10)).collect();
+        let ring = Graph::from_edges(10, &edges);
+        assert_eq!(degree_assortativity(&ring), 0.0);
+    }
+
+    #[test]
+    fn k_core_of_clique_plus_tail() {
+        // K4 (nodes 0-3) with a tail 3-4-5.
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+                (3, 4), (4, 5),
+            ],
+        );
+        let core = k_core(&g);
+        assert_eq!(&core[0..4], &[3, 3, 3, 3], "clique nodes are 3-core");
+        assert_eq!(core[4], 1);
+        assert_eq!(core[5], 1);
+    }
+
+    #[test]
+    fn k_core_of_ring_is_two() {
+        let edges: Vec<(u32, u32)> = (0..8u32).map(|i| (i, (i + 1) % 8)).collect();
+        let g = Graph::from_edges(8, &edges);
+        assert!(k_core(&g).iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn generators_produce_heavy_tails() {
+        use crate::generators::{dc_sbm, DcSbmConfig};
+        use lasagne_tensor::TensorRng;
+        let mut rng = TensorRng::seed_from_u64(0);
+        let (g, _) = dc_sbm(
+            &DcSbmConfig {
+                nodes: 2000,
+                classes: 5,
+                avg_degree: 8.0,
+                homophily: 0.85,
+                power_exponent: 2.0,
+                max_weight_ratio: 100.0,
+            },
+            &mut rng,
+        );
+        let s = degree_stats(&g);
+        assert!(s.hub_fraction > 0.005, "hub fraction {}", s.hub_fraction);
+        assert!(s.max > 10 * s.median, "max {} vs median {}", s.max, s.median);
+    }
+}

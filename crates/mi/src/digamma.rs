@@ -1,0 +1,56 @@
+//! The digamma function ψ, the only special function the KSG estimator
+//! needs.
+
+/// Digamma ψ(x) for x > 0, via the upward recurrence
+/// `ψ(x) = ψ(x+1) − 1/x` into the asymptotic region, then the Stirling-type
+/// series. Accuracy is ~1e-8 for x > 0, far below the statistical error of
+/// any kNN MI estimate.
+pub fn digamma(mut x: f64) -> f64 {
+    assert!(x > 0.0, "digamma: domain is x > 0, got {x}");
+    let mut result = 0.0;
+    while x < 6.0 {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    result + x.ln() - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+    #[test]
+    fn known_values() {
+        assert!((digamma(1.0) + EULER_GAMMA).abs() < 1e-8);
+        // ψ(2) = 1 − γ
+        assert!((digamma(2.0) - (1.0 - EULER_GAMMA)).abs() < 1e-8);
+        // ψ(1/2) = −γ − 2 ln 2
+        assert!((digamma(0.5) + EULER_GAMMA + 2.0 * (2.0f64).ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn recurrence_holds() {
+        for &x in &[0.3, 1.7, 4.2, 11.0] {
+            assert!(
+                (digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-9,
+                "recurrence at {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn asymptotically_logarithmic() {
+        assert!((digamma(1e6) - (1e6f64).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn rejects_non_positive() {
+        digamma(0.0);
+    }
+}

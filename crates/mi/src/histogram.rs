@@ -1,0 +1,153 @@
+//! Histogram (plug-in) entropy and MI estimators — simple, biased, but
+//! exactly computable; used to validate the KSG estimator and for quick
+//! 1-D diagnostics.
+
+/// Plug-in Shannon entropy (nats) of a 1-D sample using `bins` equal-width
+/// bins over the sample range, *of the discretized variable* (no bin-width
+/// correction — callers compare entropies under the same binning).
+pub fn histogram_entropy_1d(xs: &[f32], bins: usize) -> f32 {
+    assert!(bins >= 1, "histogram_entropy_1d: bins must be ≥ 1");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let (lo, hi) = range(xs);
+    if hi <= lo {
+        return 0.0; // constant sample: zero entropy
+    }
+    let mut counts = vec![0usize; bins];
+    for &x in xs {
+        counts[bin_of(x, lo, hi, bins)] += 1;
+    }
+    let n = xs.len() as f64;
+    -counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            p * p.ln()
+        })
+        .sum::<f64>() as f32
+}
+
+/// Plug-in MI (nats) between two 1-D samples using a `bins × bins` joint
+/// histogram: `I = Σ p_ij ln(p_ij / (p_i q_j))`.
+pub fn histogram_mi_2d(xs: &[f32], ys: &[f32], bins: usize) -> f32 {
+    assert_eq!(xs.len(), ys.len(), "histogram_mi_2d: length mismatch");
+    assert!(bins >= 1, "histogram_mi_2d: bins must be ≥ 1");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let (xlo, xhi) = range(xs);
+    let (ylo, yhi) = range(ys);
+    if xhi <= xlo || yhi <= ylo {
+        return 0.0; // a constant marginal carries no information
+    }
+    let mut joint = vec![0usize; bins * bins];
+    let mut px = vec![0usize; bins];
+    let mut py = vec![0usize; bins];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let bx = bin_of(x, xlo, xhi, bins);
+        let by = bin_of(y, ylo, yhi, bins);
+        joint[bx * bins + by] += 1;
+        px[bx] += 1;
+        py[by] += 1;
+    }
+    let n = xs.len() as f64;
+    let mut mi = 0.0f64;
+    for bx in 0..bins {
+        for by in 0..bins {
+            let c = joint[bx * bins + by];
+            if c == 0 {
+                continue;
+            }
+            let pij = c as f64 / n;
+            let pi = px[bx] as f64 / n;
+            let qj = py[by] as f64 / n;
+            mi += pij * (pij / (pi * qj)).ln();
+        }
+    }
+    mi as f32
+}
+
+fn range(xs: &[f32]) -> (f32, f32) {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+#[inline]
+fn bin_of(x: f32, lo: f32, hi: f32, bins: usize) -> usize {
+    let t = (x - lo) / (hi - lo);
+    ((t * bins as f32) as usize).min(bins - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasagne_tensor::TensorRng;
+
+    #[test]
+    fn uniform_entropy_is_log_bins() {
+        // A dense uniform grid fills every bin equally: H = ln(bins).
+        let xs: Vec<f32> = (0..10_000).map(|i| i as f32 / 10_000.0).collect();
+        let h = histogram_entropy_1d(&xs, 16);
+        assert!((h - (16.0f32).ln()).abs() < 0.01, "H = {h}");
+    }
+
+    #[test]
+    fn constant_sample_zero_entropy() {
+        assert_eq!(histogram_entropy_1d(&[2.0; 100], 8), 0.0);
+        assert_eq!(histogram_entropy_1d(&[], 8), 0.0);
+    }
+
+    #[test]
+    fn identical_variables_mi_equals_entropy() {
+        let mut rng = TensorRng::seed_from_u64(0);
+        let xs: Vec<f32> = (0..5000).map(|_| rng.uniform(0.0, 1.0)).collect();
+        let h = histogram_entropy_1d(&xs, 10);
+        let mi = histogram_mi_2d(&xs, &xs, 10);
+        assert!((h - mi).abs() < 1e-4, "H {h} vs I {mi}");
+    }
+
+    #[test]
+    fn independent_mi_near_zero() {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let xs: Vec<f32> = (0..20_000).map(|_| rng.uniform(0.0, 1.0)).collect();
+        let ys: Vec<f32> = (0..20_000).map(|_| rng.uniform(0.0, 1.0)).collect();
+        let mi = histogram_mi_2d(&xs, &ys, 8);
+        // Plug-in MI is biased up by ~ (bins-1)²/(2N).
+        assert!(mi < 0.01, "independent MI {mi}");
+    }
+
+    #[test]
+    fn mi_monotone_in_correlation() {
+        let mut rng = TensorRng::seed_from_u64(2);
+        let base: Vec<f32> = (0..8000).map(|_| rng.normal()).collect();
+        let make = |rho: f32, rng: &mut TensorRng| -> Vec<f32> {
+            base.iter()
+                .map(|&x| rho * x + (1.0 - rho * rho).sqrt() * rng.normal())
+                .collect()
+        };
+        let weak = histogram_mi_2d(&base, &make(0.3, &mut rng), 12);
+        let strong = histogram_mi_2d(&base, &make(0.9, &mut rng), 12);
+        assert!(strong > weak + 0.2, "strong {strong} weak {weak}");
+    }
+
+    #[test]
+    fn agrees_with_gaussian_closed_form_roughly() {
+        let mut rng = TensorRng::seed_from_u64(3);
+        let rho = 0.8f32;
+        let xs: Vec<f32> = (0..30_000).map(|_| rng.normal()).collect();
+        let ys: Vec<f32> = xs
+            .iter()
+            .map(|&x| rho * x + (1.0 - rho * rho).sqrt() * rng.normal())
+            .collect();
+        let mi = histogram_mi_2d(&xs, &ys, 24);
+        let truth = -0.5 * (1.0 - rho * rho).ln();
+        assert!((mi - truth).abs() < 0.1, "est {mi} truth {truth}");
+    }
+}

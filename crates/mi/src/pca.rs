@@ -1,0 +1,128 @@
+//! Principal-component projection by orthogonal (block power) iteration —
+//! no external linear-algebra dependency.
+//!
+//! Random Johnson–Lindenstrauss projections preserve *distances* but
+//! dilute low-rank *structure*: when the informative part of a
+//! 128-dimensional feature matrix lives in a handful of directions (class
+//! centroids), a random 4-dim projection keeps only ~4/128 of it and kNN
+//! MI estimates collapse toward zero. Projecting onto the top principal
+//! components instead concentrates exactly the variance the estimator
+//! needs (this is what made Fig 2/6 readable).
+
+use lasagne_tensor::{Tensor, TensorRng};
+
+/// Orthonormalize the columns of `b` in place (modified Gram–Schmidt);
+/// near-zero columns are replaced by fresh random directions.
+fn orthonormalize(b: &mut Tensor, rng: &mut TensorRng) {
+    let (n, k) = b.shape();
+    for j in 0..k {
+        // Subtract projections onto the previous columns.
+        for prev in 0..j {
+            let mut dot = 0.0f32;
+            for i in 0..n {
+                dot += b.get(i, j) * b.get(i, prev);
+            }
+            for i in 0..n {
+                let v = b.get(i, j) - dot * b.get(i, prev);
+                b.set(i, j, v);
+            }
+        }
+        let norm: f32 = (0..n).map(|i| b.get(i, j).powi(2)).sum::<f32>().sqrt();
+        if norm > 1e-12 {
+            for i in 0..n {
+                b.set(i, j, b.get(i, j) / norm);
+            }
+        } else {
+            // Degenerate direction: re-randomize (will be orthogonalized on
+            // the next sweep).
+            for i in 0..n {
+                b.set(i, j, rng.normal());
+            }
+        }
+    }
+}
+
+/// Project the rows of `x` (N×D) onto its top `d` principal components
+/// (directions of maximal variance), computed by `iters` rounds of
+/// orthogonal iteration on the D×D covariance. Columns of `x` should be
+/// (approximately) centered — [`crate::standardize_columns`] does that.
+pub fn pca_projection(x: &Tensor, d: usize, iters: usize, rng: &mut TensorRng) -> Tensor {
+    let (n, dim) = x.shape();
+    assert!(d >= 1, "pca_projection: d must be ≥ 1");
+    if d >= dim || n == 0 {
+        return x.clone();
+    }
+    // Covariance C = XᵀX / n (D×D).
+    let mut cov = x.matmul_tn(x);
+    cov.scale_assign(1.0 / n as f32);
+
+    let mut basis = rng.normal_tensor(dim, d, 0.0, 1.0);
+    orthonormalize(&mut basis, rng);
+    for _ in 0..iters {
+        basis = cov.matmul(&basis);
+        orthonormalize(&mut basis, rng);
+    }
+    x.matmul(&basis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_a_planted_direction() {
+        // Data = strong 1-D signal along `dir` + weak isotropic noise in
+        // 32 dims. The first principal component must align with `dir`.
+        let mut rng = TensorRng::seed_from_u64(0);
+        let dim = 32;
+        let dir = rng.normal_tensor(1, dim, 0.0, 1.0);
+        let mut x = Tensor::zeros(400, dim);
+        for i in 0..400 {
+            let a = 5.0 * rng.normal();
+            for j in 0..dim {
+                x.set(i, j, a * dir.get(0, j) + 0.1 * rng.normal());
+            }
+        }
+        let p = pca_projection(&x, 1, 30, &mut rng);
+        // Variance captured along the top component ≈ total signal variance.
+        let captured = p.sqr().mean();
+        let total_row_var = x.sqr().sum() / 400.0;
+        assert!(
+            captured > 0.8 * total_row_var,
+            "captured {captured} of {total_row_var}"
+        );
+    }
+
+    #[test]
+    fn projection_is_orthonormal_basis() {
+        // Projecting twice onto d dims must preserve the projected norms.
+        let mut rng = TensorRng::seed_from_u64(1);
+        let x = rng.normal_tensor(300, 16, 0.0, 1.0);
+        let p = pca_projection(&x, 4, 25, &mut rng);
+        assert_eq!(p.shape(), (300, 4));
+        // Projected variance ≤ total variance (Parseval under orthonormal
+        // columns), and > 4/16 of it (top components beat random ones).
+        let total = x.sqr().sum();
+        let proj = p.sqr().sum();
+        assert!(proj <= total * 1.001);
+        assert!(proj > total * (4.0 / 16.0));
+    }
+
+    #[test]
+    fn d_at_least_dim_is_identity() {
+        let mut rng = TensorRng::seed_from_u64(2);
+        let x = rng.normal_tensor(10, 3, 0.0, 1.0);
+        let p = pca_projection(&x, 5, 10, &mut rng);
+        assert!(p.approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn survives_rank_deficient_input() {
+        // Constant matrix: covariance is rank 0; must not NaN or hang.
+        let mut rng = TensorRng::seed_from_u64(3);
+        let x = Tensor::full(50, 8, 1.0);
+        let p = pca_projection(&x, 3, 10, &mut rng);
+        assert_eq!(p.shape(), (50, 3));
+        assert!(!p.has_non_finite());
+    }
+}

@@ -1,0 +1,93 @@
+//! Dimensionality reduction for MI estimation: column standardization and
+//! Gaussian random projection (Johnson–Lindenstrauss style).
+
+use lasagne_tensor::{Tensor, TensorRng};
+
+/// Standardize each column to zero mean / unit variance. Constant columns
+/// become all-zero instead of NaN (important for over-smoothed hidden
+/// representations, which collapse toward constants).
+pub fn standardize_columns(x: &Tensor) -> Tensor {
+    let n = x.rows();
+    if n == 0 {
+        return x.clone();
+    }
+    let mean = x.mean_rows();
+    let mut out = x.clone();
+    for i in 0..n {
+        for (v, &m) in out.row_mut(i).iter_mut().zip(mean.row(0)) {
+            *v -= m;
+        }
+    }
+    // Column stds.
+    let mut std = vec![0.0f32; x.cols()];
+    for i in 0..n {
+        for (s, &v) in std.iter_mut().zip(out.row(i)) {
+            *s += v * v;
+        }
+    }
+    for s in &mut std {
+        *s = (*s / n as f32).sqrt();
+    }
+    for i in 0..n {
+        for (v, &s) in out.row_mut(i).iter_mut().zip(&std) {
+            if s > 1e-12 {
+                *v /= s;
+            } else {
+                *v = 0.0;
+            }
+        }
+    }
+    out
+}
+
+/// Project `x (N×D)` to `N×d` with an i.i.d. Gaussian matrix scaled by
+/// `1/sqrt(d)` (approximately norm-preserving).
+pub fn random_projection(x: &Tensor, d: usize, rng: &mut TensorRng) -> Tensor {
+    assert!(d >= 1, "random_projection: d must be ≥ 1");
+    let proj = rng.normal_tensor(x.cols(), d, 0.0, 1.0 / (d as f32).sqrt());
+    x.matmul(&proj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardize_produces_zero_mean_unit_var() {
+        let mut rng = TensorRng::seed_from_u64(0);
+        let x = rng.uniform_tensor(500, 3, 5.0, 9.0);
+        let s = standardize_columns(&x);
+        let mean = s.mean_rows();
+        for &m in mean.row(0) {
+            assert!(m.abs() < 1e-4, "mean {m}");
+        }
+        let var = s.sqr().mean_rows();
+        for &v in var.row(0) {
+            assert!((v - 1.0).abs() < 1e-3, "var {v}");
+        }
+    }
+
+    #[test]
+    fn standardize_zeroes_constant_columns() {
+        let x = Tensor::from_fn(10, 2, |i, j| if j == 0 { 7.0 } else { i as f32 });
+        let s = standardize_columns(&x);
+        assert!(s.col(0).iter().all(|&v| v == 0.0));
+        assert!(s.col(1).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn projection_shape_and_norm_preservation() {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let x = rng.normal_tensor(200, 64, 0.0, 1.0);
+        let p = random_projection(&x, 8, &mut rng);
+        assert_eq!(p.shape(), (200, 8));
+        // Average squared row norm is approximately preserved (JL).
+        let before = x.row_sq_norms().mean();
+        let after = p.row_sq_norms().mean();
+        assert!(
+            (after / before - 1.0).abs() < 0.25,
+            "norm ratio {}",
+            after / before
+        );
+    }
+}

@@ -1,0 +1,403 @@
+//! The [`Csr`] type: compressed sparse row `f32` matrices with `u32` column
+//! indices (graphs here stay below 2³² nodes by a wide margin, and the
+//! narrower index type halves the memory traffic of SpMM).
+
+use lasagne_tensor::Tensor;
+
+/// Compressed-sparse-row matrix.
+///
+/// Invariants (maintained by all constructors):
+/// * `indptr.len() == rows + 1`, `indptr[0] == 0`, non-decreasing;
+/// * column indices within each row are strictly increasing (duplicates are
+///   summed at construction);
+/// * `indices.len() == values.len() == indptr[rows]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Build from COO triplets `(row, col, value)`. Duplicate coordinates are
+    /// summed; explicit zeros are kept (callers may rely on structure).
+    pub fn from_coo(rows: usize, cols: usize, entries: &[(u32, u32, f32)]) -> Csr {
+        for &(r, c, _) in entries {
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "from_coo: entry ({r},{c}) outside {rows}x{cols}"
+            );
+        }
+        let mut sorted: Vec<(u32, u32, f32)> = entries.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        // Per-row counts first, then prefix-sum into offsets; duplicate
+        // coordinates collapse into the previously-pushed entry.
+        let mut indptr = vec![0usize; rows + 1];
+        let mut indices = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        let mut prev: Option<(u32, u32)> = None;
+        for &(r, c, v) in &sorted {
+            if prev == Some((r, c)) {
+                *values.last_mut().expect("non-empty on duplicate") += v;
+            } else {
+                indices.push(c);
+                values.push(v);
+                indptr[r as usize + 1] += 1;
+                prev = Some((r, c));
+            }
+        }
+        for r in 0..rows {
+            indptr[r + 1] += indptr[r];
+        }
+        Csr {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Construct directly from CSR arrays, validating the invariants.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Csr {
+        assert_eq!(indptr.len(), rows + 1, "from_parts: indptr length");
+        assert_eq!(indptr[0], 0, "from_parts: indptr[0]");
+        assert_eq!(indices.len(), values.len(), "from_parts: nnz mismatch");
+        assert_eq!(*indptr.last().unwrap(), indices.len(), "from_parts: total nnz");
+        for w in indptr.windows(2) {
+            assert!(w[0] <= w[1], "from_parts: indptr must be non-decreasing");
+        }
+        for &c in &indices {
+            assert!((c as usize) < cols, "from_parts: col {c} out of range");
+        }
+        Csr {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// The `n x n` sparse identity.
+    pub fn identity(n: usize) -> Csr {
+        Csr {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The `(column, value)` pairs of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        self.indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Column indices of row `i`.
+    #[inline]
+    pub fn row_indices(&self, i: usize) -> &[u32] {
+        &self.indices[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Values of row `i`.
+    #[inline]
+    pub fn row_values(&self, i: usize) -> &[f32] {
+        &self.values[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Number of stored entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.indptr[i + 1] - self.indptr[i]
+    }
+
+    /// Raw indptr array (for kernels that walk the structure directly, e.g.
+    /// GAT's per-edge attention).
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Raw column-index array.
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Raw value array.
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Mutable value array (structure-preserving reweighting, e.g. GraphSAINT
+    /// normalization).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// Sparse × dense: `self · dense`. The inner loop streams a contiguous
+    /// dense row, so it auto-vectorizes; this is the hot kernel of every
+    /// model in the stack.
+    pub fn spmm(&self, dense: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols,
+            dense.rows(),
+            "spmm: {}x{} · {}x{}",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let d = dense.cols();
+        let mut out = Tensor::zeros(self.rows, d);
+        for i in 0..self.rows {
+            let lo = self.indptr[i];
+            let hi = self.indptr[i + 1];
+            let o_row = out.row_mut(i);
+            for e in lo..hi {
+                let j = self.indices[e] as usize;
+                let v = self.values[e];
+                let d_row = dense.row(j);
+                for (o, &x) in o_row.iter_mut().zip(d_row) {
+                    *o += v * x;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · dense` without materializing the transpose (scatter form);
+    /// this is the backward pass of [`Csr::spmm`].
+    pub fn spmm_t(&self, dense: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows,
+            dense.rows(),
+            "spmm_t: ({}x{})ᵀ · {}x{}",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let d = dense.cols();
+        let mut out = Tensor::zeros(self.cols, d);
+        for i in 0..self.rows {
+            let lo = self.indptr[i];
+            let hi = self.indptr[i + 1];
+            let d_row = dense.row(i).to_vec(); // copy: out and dense may alias rows
+            for e in lo..hi {
+                let j = self.indices[e] as usize;
+                let v = self.values[e];
+                let o_row = out.row_mut(j);
+                for (o, &x) in o_row.iter_mut().zip(&d_row) {
+                    *o += v * x;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse × dense-vector specialization (used by PageRank).
+    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(self.cols, x.len(), "spmv: dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let mut acc = 0.0;
+            for (j, v) in self.row(i) {
+                acc += v * x[j as usize];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// The transpose, materialized (counting sort over columns, O(nnz)).
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 1..=self.cols {
+            counts[i] += counts[i - 1];
+        }
+        let indptr = counts.clone();
+        let mut cursor = counts;
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                let slot = cursor[c as usize];
+                indices[slot] = r as u32;
+                values[slot] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Row sums (weighted out-degrees).
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.rows)
+            .map(|i| self.row_values(i).iter().sum())
+            .collect()
+    }
+
+    /// Densify — for tests and tiny examples only.
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (j, v) in self.row(i) {
+                out[(i, j as usize)] += v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [[0, 2, 0],
+        //  [1, 0, 3],
+        //  [0, 0, 0]]
+        Csr::from_coo(3, 3, &[(0, 1, 2.0), (1, 0, 1.0), (1, 2, 3.0)])
+    }
+
+    #[test]
+    fn from_coo_builds_expected_structure() {
+        let m = sample();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row_indices(0), &[1]);
+        assert_eq!(m.row_values(1), &[1.0, 3.0]);
+        assert_eq!(m.row_nnz(2), 0);
+    }
+
+    #[test]
+    fn from_coo_sums_duplicates() {
+        let m = Csr::from_coo(2, 2, &[(0, 0, 1.0), (0, 0, 2.5), (1, 1, 1.0)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row_values(0), &[3.5]);
+    }
+
+    #[test]
+    fn from_coo_handles_unsorted_input() {
+        let a = Csr::from_coo(3, 3, &[(2, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
+        let b = Csr::from_coo(3, 3, &[(0, 2, 2.0), (1, 1, 3.0), (2, 0, 1.0)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_leading_and_trailing_rows() {
+        let m = Csr::from_coo(4, 2, &[(2, 1, 5.0)]);
+        assert_eq!(m.row_nnz(0), 0);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row_values(2), &[5.0]);
+        assert_eq!(m.row_nnz(3), 0);
+    }
+
+    #[test]
+    fn identity_spmm_is_noop() {
+        let x = Tensor::from_fn(4, 3, |i, j| (i * 3 + j) as f32);
+        assert!(Csr::identity(4).spmm(&x).approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = sample();
+        let x = Tensor::from_fn(3, 2, |i, j| (i + j) as f32 + 0.5);
+        assert!(m.spmm(&x).approx_eq(&m.to_dense().matmul(&x), 1e-6));
+    }
+
+    #[test]
+    fn spmm_t_matches_dense_transpose() {
+        let m = sample();
+        let x = Tensor::from_fn(3, 2, |i, j| (2 * i + j) as f32);
+        let expect = m.to_dense().transpose().matmul(&x);
+        assert!(m.spmm_t(&x).approx_eq(&expect, 1e-6));
+    }
+
+    #[test]
+    fn spmv_matches_spmm() {
+        let m = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        let via_mm = m.spmm(&Tensor::col_vector(&x));
+        assert_eq!(m.spmv(&x), via_mm.col(0));
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert!(m
+            .transpose()
+            .to_dense()
+            .approx_eq(&m.to_dense().transpose(), 0.0));
+    }
+
+    #[test]
+    fn row_sums_are_weighted_degrees() {
+        assert_eq!(sample().row_sums(), vec![2.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn from_coo_bounds_checked() {
+        let _ = Csr::from_coo(2, 2, &[(2, 0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm")]
+    fn spmm_shape_checked() {
+        let _ = sample().spmm(&Tensor::ones(4, 2));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests: CSR algebra must agree with densified linear algebra.
+
+use lasagne_sparse::Csr;
+use lasagne_tensor::TensorRng;
+use proptest::prelude::*;
+
+/// Random sparse square matrix with ~`density` fill.
+fn random_csr(n: usize, density: f64, seed: u64) -> Csr {
+    let mut rng = TensorRng::seed_from_u64(seed);
+    let mut coo = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if rng.bernoulli(density as f32) {
+                coo.push((i as u32, j as u32, rng.uniform(-2.0, 2.0)));
+            }
+        }
+    }
+    Csr::from_coo(n, n, &coo)
+}
+
+/// Random symmetric unweighted adjacency (no self-loops).
+fn random_adj(n: usize, density: f64, seed: u64) -> Csr {
+    let mut rng = TensorRng::seed_from_u64(seed);
+    let mut coo = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.bernoulli(density as f32) {
+                coo.push((i as u32, j as u32, 1.0));
+                coo.push((j as u32, i as u32, 1.0));
+            }
+        }
+    }
+    Csr::from_coo(n, n, &coo)
+}
+
+proptest! {
+    #[test]
+    fn spmm_equals_dense_matmul(seed in 0u64..300, n in 2usize..12, d in 1usize..5) {
+        let m = random_csr(n, 0.4, seed);
+        let mut rng = TensorRng::seed_from_u64(seed.wrapping_add(99));
+        let x = rng.uniform_tensor(n, d, -3.0, 3.0);
+        prop_assert!(m.spmm(&x).approx_eq(&m.to_dense().matmul(&x), 1e-4));
+    }
+
+    #[test]
+    fn spmm_t_equals_transpose_spmm(seed in 0u64..300, n in 2usize..12) {
+        let m = random_csr(n, 0.3, seed);
+        let mut rng = TensorRng::seed_from_u64(seed ^ 0xabcd);
+        let x = rng.uniform_tensor(n, 3, -1.0, 1.0);
+        prop_assert!(m.spmm_t(&x).approx_eq(&m.transpose().spmm(&x), 1e-4));
+    }
+
+    #[test]
+    fn transpose_is_involution(seed in 0u64..200, n in 1usize..15) {
+        let m = random_csr(n, 0.3, seed);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn gcn_normalization_is_symmetric_and_bounded(seed in 0u64..200, n in 2usize..15) {
+        let a = random_adj(n, 0.3, seed).gcn_normalize();
+        let d = a.to_dense();
+        prop_assert!(d.approx_eq(&d.transpose(), 1e-5));
+        // Entries of Â lie in [0, 1].
+        prop_assert!(d.min() >= 0.0 && d.max() <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn rw_rows_are_stochastic(seed in 0u64..200, n in 2usize..15) {
+        let a = random_adj(n, 0.4, seed).with_self_loops().rw_normalize();
+        for s in a.row_sums() {
+            prop_assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn induced_matches_dense_slice(seed in 0u64..200) {
+        let m = random_csr(8, 0.4, seed);
+        let nodes = [6usize, 2, 5];
+        let s = m.induced(&nodes).to_dense();
+        let d = m.to_dense();
+        for (ri, &r) in nodes.iter().enumerate() {
+            for (ci, &c) in nodes.iter().enumerate() {
+                prop_assert!((s[(ri, ci)] - d[(r, c)]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn slice_matches_dense_rectangle(seed in 0u64..200) {
+        let m = random_csr(9, 0.35, seed);
+        let rows = [1usize, 8, 3];
+        let cols = [0usize, 4];
+        let s = m.slice(&rows, &cols).to_dense();
+        let d = m.to_dense();
+        for (ri, &r) in rows.iter().enumerate() {
+            for (ci, &c) in cols.iter().enumerate() {
+                prop_assert!((s[(ri, ci)] - d[(r, c)]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn from_coo_duplicate_merging_is_order_invariant(seed in 0u64..100) {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let mut entries: Vec<(u32, u32, f32)> = (0..30)
+            .map(|_| (rng.index(5) as u32, rng.index(5) as u32, rng.uniform(-1.0, 1.0)))
+            .collect();
+        let a = Csr::from_coo(5, 5, &entries);
+        rng.shuffle(&mut entries);
+        let b = Csr::from_coo(5, 5, &entries);
+        prop_assert!(a.to_dense().approx_eq(&b.to_dense(), 1e-5));
+    }
+}

@@ -1,0 +1,120 @@
+//! Nonlinearities and the numerically-stable row-wise softmax family used by
+//! Eq (2) of the paper (`softmax` applied row-wise over class logits).
+
+use crate::Tensor;
+
+impl Tensor {
+    /// `max(0, x)` element-wise.
+    pub fn relu(&self) -> Tensor {
+        self.map(|v| v.max(0.0))
+    }
+
+    /// Leaky ReLU with the given negative slope.
+    pub fn leaky_relu(&self, slope: f32) -> Tensor {
+        self.map(|v| if v >= 0.0 { v } else { slope * v })
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(|v| 1.0 / (1.0 + (-v).exp()))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Row-wise softmax, stabilized by subtracting the row max.
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            let row = out.row_mut(i);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut s = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                s += *v;
+            }
+            if s > 0.0 {
+                let inv = 1.0 / s;
+                for v in row.iter_mut() {
+                    *v *= inv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Row-wise log-softmax, stabilized by subtracting the row max.
+    pub fn log_softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            let row = out.row_mut(i);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = m + row.iter().map(|v| (v - m).exp()).sum::<f32>().ln();
+            for v in row.iter_mut() {
+                *v -= lse;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        assert_eq!(t.relu().row(0), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        let t = Tensor::from_rows(&[&[-2.0, 3.0]]);
+        assert_eq!(t.leaky_relu(0.1).row(0), &[-0.2, 3.0]);
+    }
+
+    #[test]
+    fn sigmoid_midpoint_and_limits() {
+        let t = Tensor::from_rows(&[&[0.0, 20.0, -20.0]]);
+        let s = t.sigmoid();
+        assert!((s.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!(s.get(0, 1) > 0.999);
+        assert!(s.get(0, 2) < 0.001);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_fn(3, 4, |i, j| (i * j) as f32 - 1.5);
+        let s = t.softmax_rows();
+        for i in 0..3 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row {i} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let shifted = t.add_scalar(100.0);
+        assert!(t.softmax_rows().approx_eq(&shifted.softmax_rows(), 1e-6));
+    }
+
+    #[test]
+    fn softmax_survives_large_logits() {
+        let t = Tensor::from_rows(&[&[1000.0, 0.0]]);
+        let s = t.softmax_rows();
+        assert!(!s.has_non_finite());
+        assert!((s.get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let t = Tensor::from_fn(2, 5, |i, j| (j as f32 - i as f32) * 0.7);
+        let a = t.log_softmax_rows();
+        let b = t.softmax_rows().map(f32::ln);
+        assert!(a.approx_eq(&b, 1e-5));
+    }
+}

@@ -1,0 +1,187 @@
+//! Random initializers.
+//!
+//! All randomness in the stack flows through [`TensorRng`], a thin wrapper
+//! over a seedable PRNG, so every experiment is reproducible from a single
+//! `u64` seed (the paper reports mean±std over repeated seeded runs).
+
+use crate::Tensor;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seedable source of randomness for initializers, dropout masks, Bernoulli
+/// gates and data generation.
+pub struct TensorRng {
+    rng: StdRng,
+}
+
+impl TensorRng {
+    /// Deterministic RNG from a seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TensorRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Split off an independent child stream (used to give each model its own
+    /// stream while keeping the experiment seed single-valued).
+    pub fn fork(&mut self) -> TensorRng {
+        TensorRng::seed_from_u64(self.rng.gen())
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// Standard-normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f32 {
+        // Box–Muller transform; u1 is kept away from 0 to avoid ln(0).
+        let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
+    pub fn bernoulli(&mut self, p: f32) -> bool {
+        self.rng.gen::<f32>() < p.clamp(0.0, 1.0)
+    }
+
+    /// `rows x cols` tensor with i.i.d. `U[lo, hi)` entries.
+    pub fn uniform_tensor(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> Tensor {
+        let dist = Uniform::new(lo, hi);
+        let data = (0..rows * cols).map(|_| dist.sample(&mut self.rng)).collect();
+        Tensor::from_vec(rows, cols, data).expect("uniform_tensor: internal size")
+    }
+
+    /// `rows x cols` tensor with i.i.d. `N(mean, std²)` entries.
+    pub fn normal_tensor(&mut self, rows: usize, cols: usize, mean: f32, std: f32) -> Tensor {
+        let data = (0..rows * cols).map(|_| mean + std * self.normal()).collect();
+        Tensor::from_vec(rows, cols, data).expect("normal_tensor: internal size")
+    }
+
+    /// Glorot/Xavier uniform initializer, the standard choice for GCN weight
+    /// matrices (Kipf & Welling's reference implementation uses it).
+    pub fn glorot_uniform(&mut self, rows: usize, cols: usize) -> Tensor {
+        let limit = (6.0 / (rows + cols) as f32).sqrt();
+        self.uniform_tensor(rows, cols, -limit, limit)
+    }
+
+    /// 0/1 mask where each entry is 1 with probability `keep`, scaled by
+    /// `1/keep` (inverted dropout).
+    pub fn dropout_mask(&mut self, rows: usize, cols: usize, keep: f32) -> Tensor {
+        assert!(
+            keep > 0.0 && keep <= 1.0,
+            "dropout_mask: keep probability {keep} outside (0, 1]"
+        );
+        let scale = 1.0 / keep;
+        let data = (0..rows * cols)
+            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        Tensor::from_vec(rows, cols, data).expect("dropout_mask: internal size")
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (k ≤ n), in random order.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "sample_indices: k={k} > n={n}");
+        // Partial Fisher–Yates over an index vector; O(n) setup, fine at the
+        // graph sizes used here.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = self.rng.gen_range(i..n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+
+    /// Raw access for callers needing distributions not wrapped here.
+    pub fn raw(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = TensorRng::seed_from_u64(7);
+        let mut b = TensorRng::seed_from_u64(7);
+        assert_eq!(
+            a.uniform_tensor(3, 3, -1.0, 1.0),
+            b.uniform_tensor(3, 3, -1.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut a = TensorRng::seed_from_u64(7);
+        let t1 = a.fork().uniform_tensor(2, 2, 0.0, 1.0);
+        let t2 = a.fork().uniform_tensor(2, 2, 0.0, 1.0);
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn glorot_respects_limit() {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let t = rng.glorot_uniform(50, 70);
+        let limit = (6.0 / 120.0f32).sqrt();
+        assert!(t.max() <= limit && t.min() >= -limit);
+    }
+
+    #[test]
+    fn normal_tensor_moments() {
+        let mut rng = TensorRng::seed_from_u64(2);
+        let t = rng.normal_tensor(200, 200, 1.0, 2.0);
+        assert!((t.mean() - 1.0).abs() < 0.05);
+        let var = t.sub(&Tensor::full(200, 200, t.mean())).sqr().mean();
+        assert!((var.sqrt() - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn dropout_mask_is_inverted() {
+        let mut rng = TensorRng::seed_from_u64(3);
+        let m = rng.dropout_mask(100, 100, 0.8);
+        // Non-zero entries carry the 1/keep scale...
+        assert!(m.as_slice().iter().all(|&v| v == 0.0 || (v - 1.25).abs() < 1e-6));
+        // ...and the mask mean stays close to 1 so expectations are unbiased.
+        assert!((m.mean() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = TensorRng::seed_from_u64(4);
+        let s = rng.sample_indices(100, 30);
+        assert_eq!(s.len(), 30);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30, "indices must be distinct");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = TensorRng::seed_from_u64(5);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,34 @@
+//! Dense row-major 2-D `f32` tensors and the numeric kernels every layer of
+//! the Lasagne stack computes on.
+//!
+//! The crate is deliberately small and dependency-free (besides `rand` for
+//! initializers): it is the substitute for a BLAS/ndarray stack in this
+//! offline reproduction. Kernels are written so the hot inner loops are
+//! contiguous-slice iterations that LLVM auto-vectorizes.
+//!
+//! Shape errors are programmer errors, so mismatched shapes panic with a
+//! message naming the operation and both shapes; constructors that take
+//! user-provided buffers return [`TensorError`] instead.
+//!
+//! # Example
+//! ```
+//! use lasagne_tensor::Tensor;
+//! let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Tensor::eye(2);
+//! assert_eq!(a.matmul(&b), a);
+//! assert_eq!(a.sum(), 10.0);
+//! ```
+
+mod activations;
+mod arith;
+mod broadcast;
+mod init;
+mod matmul;
+mod reduce;
+mod tensor;
+
+pub use init::TensorRng;
+pub use tensor::{Tensor, TensorError};
+
+/// Convenience result alias for fallible tensor constructors.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,170 @@
+//! Dense matrix products.
+//!
+//! Three kernels cover forward and backward passes without materializing
+//! transposes:
+//! * `matmul`    — `C = A · B`
+//! * `matmul_tn` — `C = Aᵀ · B` (weight gradients)
+//! * `matmul_nt` — `C = A · Bᵀ` (input gradients)
+//!
+//! All use orderings whose inner loop runs over contiguous slices so LLVM
+//! vectorizes them. `matmul` and `matmul_tn` skip zero multipliers, which is
+//! a large win on the sparse one-hot-ish feature matrices GNN inputs tend to
+//! be.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// `self · other`. Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(n, m);
+        for i in 0..n {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out.data[i * m..(i + 1) * m];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * m..(kk + 1) * m];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without forming the transpose.
+    /// Panics if `self.rows != other.rows`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn: ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(k, m);
+        for row in 0..n {
+            let a_row = &self.data[row * k..(row + 1) * k];
+            let b_row = &other.data[row * m..(row + 1) * m];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out.data[i * m..(i + 1) * m];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without forming the transpose.
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.rows);
+        let mut out = Tensor::zeros(n, m);
+        for i in 0..n {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out.data[i * m..(i + 1) * m];
+            for (j, o) in o_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Dot product of two equally-shaped tensors viewed as flat vectors.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "dot: shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: &[&[f32]]) -> Tensor {
+        Tensor::from_rows(rows)
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = t(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = t(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        assert_eq!(a.matmul(&b), t(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_fn(3, 3, |i, j| (i + 2 * j) as f32);
+        assert_eq!(a.matmul(&Tensor::eye(3)), a);
+        assert_eq!(Tensor::eye(3).matmul(&a), a);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = Tensor::ones(2, 3);
+        let b = Tensor::ones(3, 4);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 4));
+        assert!(c.approx_eq(&Tensor::full(2, 4, 3.0), 1e-6));
+    }
+
+    #[test]
+    fn tn_equals_explicit_transpose() {
+        let a = Tensor::from_fn(4, 3, |i, j| (i as f32 - j as f32) * 0.5);
+        let b = Tensor::from_fn(4, 2, |i, j| (i * j) as f32 + 1.0);
+        assert!(a.matmul_tn(&b).approx_eq(&a.transpose().matmul(&b), 1e-5));
+    }
+
+    #[test]
+    fn nt_equals_explicit_transpose() {
+        let a = Tensor::from_fn(2, 5, |i, j| (i + j) as f32 * 0.25);
+        let b = Tensor::from_fn(3, 5, |i, j| (i as f32) - 0.1 * j as f32);
+        assert!(a.matmul_nt(&b).approx_eq(&a.matmul(&b.transpose()), 1e-5));
+    }
+
+    #[test]
+    fn zero_skip_does_not_change_result() {
+        // Sparse-ish A with many exact zeros exercises the `continue` branch.
+        let a = Tensor::from_fn(5, 5, |i, j| if (i + j) % 3 == 0 { 1.5 } else { 0.0 });
+        let b = Tensor::from_fn(5, 4, |i, j| (i * 4 + j) as f32);
+        let dense = a.transpose().transpose(); // same values, same code path
+        assert!(a.matmul(&b).approx_eq(&dense.matmul(&b), 1e-6));
+    }
+
+    #[test]
+    fn dot_is_flat_inner_product() {
+        let a = t(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = t(&[&[2.0, 0.5], &[1.0, 1.0]]);
+        assert_eq!(a.dot(&b), 1.0 * 2.0 + 2.0 * 0.5 + 3.0 + 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn mismatched_inner_dims_panic() {
+        let _ = Tensor::ones(2, 3).matmul(&Tensor::ones(4, 2));
+    }
+}

@@ -1,0 +1,150 @@
+//! Reductions: full, per-row, and per-column sums/means/extrema, plus
+//! row-wise argmax (classification decisions) and norms.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Per-column sums as a `1 x D` row vector.
+    pub fn sum_rows(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols);
+        for i in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(i)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Per-row sums as an `N x 1` column vector.
+    pub fn sum_cols(&self) -> Tensor {
+        let data = (0..self.rows)
+            .map(|i| self.row(i).iter().sum())
+            .collect();
+        Tensor {
+            rows: self.rows,
+            cols: 1,
+            data,
+        }
+    }
+
+    /// Per-column means as a `1 x D` row vector.
+    pub fn mean_rows(&self) -> Tensor {
+        let mut s = self.sum_rows();
+        if self.rows > 0 {
+            s.scale_assign(1.0 / self.rows as f32);
+        }
+        s
+    }
+
+    /// Per-row means as an `N x 1` column vector.
+    pub fn mean_cols(&self) -> Tensor {
+        let mut s = self.sum_cols();
+        if self.cols > 0 {
+            s.scale_assign(1.0 / self.cols as f32);
+        }
+        s
+    }
+
+    /// Largest element (NaN-free input assumed); `-inf` for empty tensors.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Smallest element; `+inf` for empty tensors.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the largest element in each row (first one wins on ties).
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|i| {
+                let row = self.row(i);
+                let mut best = 0;
+                for (j, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = j;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Squared L2 norm of each row, as an `N x 1` column vector.
+    pub fn row_sq_norms(&self) -> Tensor {
+        let data = (0..self.rows)
+            .map(|i| self.row(i).iter().map(|v| v * v).sum())
+            .collect();
+        Tensor {
+            rows: self.rows,
+            cols: 1,
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor {
+        Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]])
+    }
+
+    #[test]
+    fn full_reductions() {
+        assert_eq!(sample().sum(), 21.0);
+        assert_eq!(sample().mean(), 3.5);
+        assert_eq!(sample().max(), 6.0);
+        assert_eq!(sample().min(), 1.0);
+    }
+
+    #[test]
+    fn axis_sums() {
+        assert_eq!(sample().sum_rows().row(0), &[5.0, 7.0, 9.0]);
+        assert_eq!(sample().sum_cols().col(0), vec![6.0, 15.0]);
+        assert_eq!(sample().mean_rows().row(0), &[2.5, 3.5, 4.5]);
+        assert_eq!(sample().mean_cols().col(0), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn argmax_first_wins_on_tie() {
+        let t = Tensor::from_rows(&[&[1.0, 3.0, 3.0], &[0.0, -1.0, -2.0]]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn norms() {
+        let t = Tensor::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(t.frobenius_norm(), 5.0);
+        assert_eq!(t.row_sq_norms().get(0, 0), 25.0);
+    }
+
+    #[test]
+    fn empty_tensor_reductions_are_safe() {
+        let t = Tensor::zeros(0, 3);
+        assert_eq!(t.sum(), 0.0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.sum_rows().shape(), (1, 3));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the tensor kernels.
+
+use lasagne_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Strategy: a tensor with the given shape and small finite entries.
+fn tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(rows, cols, v).unwrap())
+}
+
+/// Strategy: dimensions in a small range plus matching tensors for matmul.
+fn matmul_triple() -> impl Strategy<Value = (Tensor, Tensor, Tensor)> {
+    (1usize..6, 1usize..6, 1usize..6, 1usize..6).prop_flat_map(|(n, k, m, p)| {
+        (tensor(n, k), tensor(k, m), tensor(m, p))
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_is_associative((a, b, c) in matmul_triple()) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        // f32 accumulation differs slightly between orders.
+        prop_assert!(left.approx_eq(&right, 1e-2));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        (n, k, m) in (1usize..6, 1usize..6, 1usize..6)
+            .prop_flat_map(|d| (Just(d.0), Just(d.1), Just(d.2))),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = lasagne_tensor::TensorRng::seed_from_u64(seed);
+        let a = rng.uniform_tensor(n, k, -2.0, 2.0);
+        let b1 = rng.uniform_tensor(k, m, -2.0, 2.0);
+        let b2 = rng.uniform_tensor(k, m, -2.0, 2.0);
+        let lhs = a.matmul(&b1.add(&b2));
+        let rhs = a.matmul(&b1).add(&a.matmul(&b2));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn transpose_swaps_matmul(
+        seed in 0u64..1000,
+    ) {
+        let mut rng = lasagne_tensor::TensorRng::seed_from_u64(seed);
+        let a = rng.uniform_tensor(4, 3, -1.0, 1.0);
+        let b = rng.uniform_tensor(3, 5, -1.0, 1.0);
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-4));
+    }
+
+    #[test]
+    fn tn_and_nt_agree_with_naive(seed in 0u64..500) {
+        let mut rng = lasagne_tensor::TensorRng::seed_from_u64(seed);
+        let a = rng.uniform_tensor(5, 4, -3.0, 3.0);
+        let b = rng.uniform_tensor(5, 6, -3.0, 3.0);
+        prop_assert!(a.matmul_tn(&b).approx_eq(&a.transpose().matmul(&b), 1e-3));
+        let c = rng.uniform_tensor(7, 4, -3.0, 3.0);
+        prop_assert!(a.matmul_nt(&c).approx_eq(&a.matmul(&c.transpose()), 1e-3));
+    }
+
+    #[test]
+    fn add_commutes(t in tensor(3, 4), seed in 0u64..100) {
+        let mut rng = lasagne_tensor::TensorRng::seed_from_u64(seed);
+        let u = rng.uniform_tensor(3, 4, -5.0, 5.0);
+        prop_assert!(t.add(&u).approx_eq(&u.add(&t), 1e-6));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in tensor(4, 6)) {
+        let s = t.softmax_rows();
+        for i in 0..4 {
+            let sum: f32 = s.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(s.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn sum_rows_then_sum_equals_total(t in tensor(5, 3)) {
+        prop_assert!((t.sum_rows().sum() - t.sum()).abs() < 1e-3);
+        prop_assert!((t.sum_cols().sum() - t.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn concat_cols_then_slice_round_trips(a in tensor(3, 2), b in tensor(3, 4)) {
+        let c = Tensor::concat_cols(&[&a, &b]);
+        prop_assert!(c.slice_cols(0, 2).approx_eq(&a, 0.0));
+        prop_assert!(c.slice_cols(2, 6).approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn relu_is_idempotent(t in tensor(3, 3)) {
+        let r = t.relu();
+        prop_assert!(r.relu().approx_eq(&r, 0.0));
+        prop_assert!(r.min() >= 0.0);
+    }
+}

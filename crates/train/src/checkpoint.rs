@@ -1,0 +1,185 @@
+//! Model checkpointing: serialize a [`ParamStore`]'s values to JSON and
+//! load them back into a freshly-constructed model of the same shape.
+//!
+//! The training loop already snapshots in memory for early stopping; this
+//! module is for *persistence* — train once, reuse the weights across
+//! processes (e.g. train on the inductive subgraph, serve on the full
+//! graph later).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use lasagne_autograd::{ParamId, ParamStore};
+use lasagne_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// On-disk representation of one parameter tensor.
+#[derive(Serialize, Deserialize)]
+struct ParamRecord {
+    name: String,
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+/// On-disk representation of a whole store.
+#[derive(Serialize, Deserialize)]
+struct Checkpoint {
+    format_version: u32,
+    params: Vec<ParamRecord>,
+}
+
+/// Errors raised by checkpoint IO.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem / serde failure.
+    Io(String),
+    /// The checkpoint does not match the model (names, counts or shapes).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Mismatch(e) => write!(f, "checkpoint mismatch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Write every parameter of `store` to `path` as JSON.
+pub fn save_params(store: &ParamStore, path: &Path) -> Result<(), CheckpointError> {
+    let params = (0..store.len())
+        .map(|i| {
+            let id = ParamId::from_index(i);
+            let t = store.value(id);
+            ParamRecord {
+                name: store.name(id).to_string(),
+                rows: t.rows(),
+                cols: t.cols(),
+                data: t.as_slice().to_vec(),
+            }
+        })
+        .collect();
+    let ckpt = Checkpoint { format_version: 1, params };
+    let file = File::create(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    serde_json::to_writer(BufWriter::new(file), &ckpt)
+        .map_err(|e| CheckpointError::Io(e.to_string()))
+}
+
+/// Load a checkpoint written by [`save_params`] into `store`. The store
+/// must already contain parameters with identical names and shapes (i.e.
+/// build the model with the same configuration first).
+pub fn load_params(store: &mut ParamStore, path: &Path) -> Result<(), CheckpointError> {
+    let file = File::open(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    let ckpt: Checkpoint = serde_json::from_reader(BufReader::new(file))
+        .map_err(|e| CheckpointError::Io(e.to_string()))?;
+    if ckpt.format_version != 1 {
+        return Err(CheckpointError::Mismatch(format!(
+            "unsupported format version {}",
+            ckpt.format_version
+        )));
+    }
+    if ckpt.params.len() != store.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint has {} params, model has {}",
+            ckpt.params.len(),
+            store.len()
+        )));
+    }
+    for (i, rec) in ckpt.params.iter().enumerate() {
+        let id = ParamId::from_index(i);
+        if store.name(id) != rec.name {
+            return Err(CheckpointError::Mismatch(format!(
+                "param {i} is '{}' in the checkpoint but '{}' in the model",
+                rec.name,
+                store.name(id)
+            )));
+        }
+        if store.value(id).shape() != (rec.rows, rec.cols) {
+            return Err(CheckpointError::Mismatch(format!(
+                "param '{}' is {}x{} in the checkpoint but {:?} in the model",
+                rec.name,
+                rec.rows,
+                rec.cols,
+                store.value(id).shape()
+            )));
+        }
+        let t = Tensor::from_vec(rec.rows, rec.cols, rec.data.clone())
+            .map_err(|e| CheckpointError::Mismatch(e.to_string()))?;
+        *store.value_mut(id) = t;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasagne_tensor::TensorRng;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("lasagne-ckpt-{name}-{}.json", std::process::id()))
+    }
+
+    fn sample_store(seed: u64) -> ParamStore {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let mut s = ParamStore::new();
+        s.add("w1", rng.uniform_tensor(3, 4, -1.0, 1.0));
+        s.add_with_decay("b1", rng.uniform_tensor(1, 4, -1.0, 1.0), false);
+        s
+    }
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let path = temp_path("roundtrip");
+        let src = sample_store(1);
+        save_params(&src, &path).unwrap();
+        let mut dst = sample_store(2); // same shapes, different values
+        assert_ne!(
+            src.value(ParamId::from_index(0)),
+            dst.value(ParamId::from_index(0))
+        );
+        load_params(&mut dst, &path).unwrap();
+        for i in 0..src.len() {
+            let id = ParamId::from_index(i);
+            assert_eq!(src.value(id), dst.value(id));
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let path = temp_path("shape");
+        save_params(&sample_store(1), &path).unwrap();
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut wrong = ParamStore::new();
+        wrong.add("w1", rng.uniform_tensor(2, 2, -1.0, 1.0));
+        wrong.add("b1", rng.uniform_tensor(1, 4, -1.0, 1.0));
+        let err = load_params(&mut wrong, &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn name_mismatch_is_rejected() {
+        let path = temp_path("name");
+        save_params(&sample_store(1), &path).unwrap();
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut wrong = ParamStore::new();
+        wrong.add("other", rng.uniform_tensor(3, 4, -1.0, 1.0));
+        wrong.add("b1", rng.uniform_tensor(1, 4, -1.0, 1.0));
+        let err = load_params(&mut wrong, &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let mut s = sample_store(1);
+        let err = load_params(&mut s, Path::new("/nonexistent/ckpt.json")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+}

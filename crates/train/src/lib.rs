@@ -1,0 +1,43 @@
+//! Training loop, metrics, multi-seed experiment runner and table
+//! formatting — the harness behind every table and figure of the paper.
+//!
+//! The protocol follows §5.1.3: Adam, at most `max_epochs` epochs, early
+//! stopping when validation accuracy has not improved for `patience`
+//! epochs, test accuracy reported at the best-validation checkpoint, and
+//! every experiment repeated over seeds with mean±std reported.
+//!
+//! # Example
+//! ```no_run
+//! use lasagne_datasets::{Dataset, DatasetId};
+//! use lasagne_gnn::{models::Gcn, GraphContext, Hyper};
+//! use lasagne_gnn::sampling::FullBatch;
+//! use lasagne_train::{fit, TrainConfig};
+//! use lasagne_tensor::TensorRng;
+//!
+//! let ds = Dataset::generate(DatasetId::Cora, 0);
+//! let hyper = Hyper::for_dataset(DatasetId::Cora);
+//! let mut model = Gcn::new(ds.num_features(), ds.num_classes, &hyper, 0);
+//! let ctx = GraphContext::from_dataset(&ds);
+//! let mut strategy = FullBatch::from_dataset(&ds);
+//! let result = fit(
+//!     &mut model,
+//!     &mut strategy,
+//!     &ctx,
+//!     &ds.split,
+//!     &TrainConfig::from_hyper(&hyper),
+//!     &mut TensorRng::seed_from_u64(0),
+//! );
+//! println!("test accuracy: {:.1}%", 100.0 * result.test_acc);
+//! ```
+
+mod checkpoint;
+mod metrics;
+mod runner;
+mod table;
+mod trainer;
+
+pub use checkpoint::{load_params, save_params, CheckpointError};
+pub use metrics::{accuracy, confusion_counts, macro_f1};
+pub use runner::{run_seeds, SeedSummary};
+pub use table::Table;
+pub use trainer::{evaluate, fit, fit_with_callback, EpochStats, FitResult, TrainConfig};

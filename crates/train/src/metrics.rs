@@ -1,0 +1,109 @@
+//! Classification metrics.
+
+use lasagne_tensor::Tensor;
+
+/// Accuracy of row-wise argmax predictions over the node subset `idx`.
+pub fn accuracy(logits: &Tensor, labels: &[usize], idx: &[usize]) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    let preds = logits.argmax_rows();
+    let hits = idx.iter().filter(|&&i| preds[i] == labels[i]).count();
+    hits as f64 / idx.len() as f64
+}
+
+/// Per-class (true-positive, false-positive, false-negative) counts.
+pub fn confusion_counts(
+    logits: &Tensor,
+    labels: &[usize],
+    idx: &[usize],
+    classes: usize,
+) -> Vec<(usize, usize, usize)> {
+    let preds = logits.argmax_rows();
+    let mut counts = vec![(0usize, 0usize, 0usize); classes];
+    for &i in idx {
+        let (p, t) = (preds[i], labels[i]);
+        if p == t {
+            counts[t].0 += 1;
+        } else {
+            counts[p].1 += 1;
+            counts[t].2 += 1;
+        }
+    }
+    counts
+}
+
+/// Macro-averaged F1 over the node subset.
+pub fn macro_f1(logits: &Tensor, labels: &[usize], idx: &[usize], classes: usize) -> f64 {
+    let counts = confusion_counts(logits, labels, idx, classes);
+    let mut f1_sum = 0.0;
+    let mut seen = 0usize;
+    for &(tp, fp, fne) in &counts {
+        if tp + fp + fne == 0 {
+            continue; // class absent from this subset
+        }
+        seen += 1;
+        let denom = 2 * tp + fp + fne;
+        if denom > 0 {
+            f1_sum += 2.0 * tp as f64 / denom as f64;
+        }
+    }
+    if seen == 0 {
+        0.0
+    } else {
+        f1_sum / seen as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits_for(preds: &[usize], classes: usize) -> Tensor {
+        Tensor::from_fn(preds.len(), classes, |i, j| if j == preds[i] { 1.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn accuracy_counts_hits() {
+        let logits = logits_for(&[0, 1, 2, 1], 3);
+        let labels = [0, 1, 1, 1];
+        assert_eq!(accuracy(&logits, &labels, &[0, 1, 2, 3]), 0.75);
+        assert_eq!(accuracy(&logits, &labels, &[2]), 0.0);
+        assert_eq!(accuracy(&logits, &labels, &[]), 0.0);
+    }
+
+    #[test]
+    fn perfect_predictions_give_f1_one() {
+        let logits = logits_for(&[0, 1, 2], 3);
+        let labels = [0, 1, 2];
+        assert!((macro_f1(&logits, &labels, &[0, 1, 2], 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_penalizes_minority_class_errors_more_than_accuracy() {
+        // 9 correct majority predictions, minority class always wrong.
+        let mut preds = vec![0usize; 10];
+        preds[9] = 0; // true label 1 predicted as 0
+        let logits = logits_for(&preds, 2);
+        let mut labels = vec![0usize; 10];
+        labels[9] = 1;
+        let idx: Vec<usize> = (0..10).collect();
+        let acc = accuracy(&logits, &labels, &idx);
+        let f1 = macro_f1(&logits, &labels, &idx, 2);
+        assert!(acc > 0.89);
+        assert!(f1 < acc, "macro-F1 {f1} must be below accuracy {acc}");
+    }
+
+    #[test]
+    fn confusion_counts_are_consistent() {
+        let logits = logits_for(&[0, 1, 0], 2);
+        let labels = [0, 0, 1];
+        // preds [0,1,0] vs labels [0,0,1]:
+        // class 0 — tp: node 0; fp: node 2 (pred 0, true 1); fn: node 1.
+        // class 1 — tp: none; fp: node 1; fn: node 2.
+        let c = confusion_counts(&logits, &labels, &[0, 1, 2], 2);
+        assert_eq!(c[0], (1, 1, 1));
+        assert_eq!(c[1], (0, 1, 1));
+        assert_eq!(confusion_counts(&logits, &labels, &[0], 2)[0], (1, 0, 0));
+    }
+}

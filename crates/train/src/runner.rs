@@ -1,0 +1,94 @@
+//! Multi-seed experiment runner: the paper runs "each method 10 times and
+//! reports the mean accuracy and the standard deviation".
+
+use serde::Serialize;
+
+use crate::trainer::FitResult;
+
+/// Aggregate of repeated seeded runs.
+#[derive(Clone, Debug, Serialize)]
+pub struct SeedSummary {
+    /// Test accuracies (fraction in `[0,1]`), one per seed.
+    pub accs: Vec<f64>,
+    /// Mean test accuracy.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Mean per-epoch optimization seconds across runs.
+    pub mean_epoch_seconds: f64,
+    /// Mean epochs until early stop.
+    pub mean_epochs: f64,
+}
+
+impl SeedSummary {
+    /// `"84.1±0.2"`-style cell in percent, as in the paper's tables.
+    pub fn cell(&self) -> String {
+        format!("{:.1}±{:.1}", 100.0 * self.mean, 100.0 * self.std)
+    }
+
+    /// Mean accuracy in percent.
+    pub fn mean_pct(&self) -> f64 {
+        100.0 * self.mean
+    }
+}
+
+/// Run `f(seed)` for `n_seeds` seeds starting at `base_seed` and aggregate.
+pub fn run_seeds(n_seeds: usize, base_seed: u64, mut f: impl FnMut(u64) -> FitResult) -> SeedSummary {
+    assert!(n_seeds >= 1, "run_seeds: need at least one seed");
+    let results: Vec<FitResult> = (0..n_seeds)
+        .map(|i| f(base_seed + i as u64))
+        .collect();
+    let accs: Vec<f64> = results.iter().map(|r| r.test_acc).collect();
+    let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+    let var = accs.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / accs.len() as f64;
+    SeedSummary {
+        mean,
+        std: var.sqrt(),
+        mean_epoch_seconds: results.iter().map(|r| r.mean_epoch_seconds).sum::<f64>()
+            / results.len() as f64,
+        mean_epochs: results.iter().map(|r| r.epochs as f64).sum::<f64>() / results.len() as f64,
+        accs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(acc: f64, secs: f64) -> FitResult {
+        FitResult {
+            best_val_acc: acc,
+            test_acc: acc,
+            epochs: 10,
+            mean_epoch_seconds: secs,
+            history: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn aggregates_mean_and_std() {
+        let accs = [0.8, 0.9, 1.0];
+        let mut it = accs.iter();
+        let s = run_seeds(3, 0, |_| fake(*it.next().unwrap(), 0.01));
+        assert!((s.mean - 0.9).abs() < 1e-12);
+        let expected_std = (0.02f64 / 3.0).sqrt();
+        assert!((s.std - expected_std).abs() < 1e-12);
+        assert_eq!(s.accs.len(), 3);
+    }
+
+    #[test]
+    fn seeds_are_passed_through() {
+        let mut seen = Vec::new();
+        let _ = run_seeds(3, 100, |s| {
+            seen.push(s);
+            fake(0.5, 0.0)
+        });
+        assert_eq!(seen, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn cell_formats_like_the_paper() {
+        let s = run_seeds(2, 0, |i| fake(if i == 0 { 0.84 } else { 0.842 }, 0.0));
+        assert_eq!(s.cell(), "84.1±0.1");
+    }
+}

@@ -1,0 +1,45 @@
+//! A miniature of the paper's depth analysis (Fig 5): sweep model depth and
+//! watch vanilla GCN collapse while Lasagne keeps improving.
+//!
+//! ```sh
+//! cargo run --release --example depth_study
+//! ```
+
+use lasagne::prelude::*;
+
+fn train_at_depth(
+    ds: &Dataset,
+    ctx: &GraphContext,
+    depth: usize,
+    lasagne: bool,
+) -> f64 {
+    let hyper = Hyper::for_dataset(ds.spec.id).with_depth(depth);
+    let train_cfg = TrainConfig { max_epochs: 120, ..TrainConfig::from_hyper(&hyper) };
+    let mut rng = TensorRng::seed_from_u64(1);
+    let mut strat = FullBatch::from_dataset(ds);
+    if lasagne {
+        let cfg = LasagneConfig::from_hyper(&hyper, AggregatorKind::Weighted);
+        let mut m = Lasagne::new(ds.num_features(), ds.num_classes, Some(ds.num_nodes()), &cfg, 1);
+        fit(&mut m, &mut strat, ctx, &ds.split, &train_cfg, &mut rng).test_acc
+    } else {
+        let mut m = models::Gcn::new(ds.num_features(), ds.num_classes, &hyper, 1);
+        fit(&mut m, &mut strat, ctx, &ds.split, &train_cfg, &mut rng).test_acc
+    }
+}
+
+fn main() {
+    let ds = Dataset::generate(DatasetId::Cora, 0);
+    let ctx = GraphContext::from_dataset(&ds);
+    // The paper uses the Average Path Length (Eq 8) to motivate depth ≤ 10.
+    let mut rng = TensorRng::seed_from_u64(0);
+    let apl = average_path_length(&ds.graph, Some(300), &mut rng);
+    println!("cora-sim APL = {apl:.1} (paper: 7.3 on real Cora) — sweeping depth accordingly\n");
+
+    println!("{:>6}  {:>8}  {:>18}", "depth", "GCN", "Lasagne(Weighted)");
+    for depth in [2usize, 4, 6, 8] {
+        let gcn = train_at_depth(&ds, &ctx, depth, false);
+        let las = train_at_depth(&ds, &ctx, depth, true);
+        println!("{depth:>6}  {:>7.1}%  {:>17.1}%", 100.0 * gcn, 100.0 * las);
+    }
+    println!("\nExpected shape: GCN peaks shallow then collapses; Lasagne keeps climbing.");
+}

@@ -1,0 +1,49 @@
+//! The production scenario of §5.2.1: classify short-videos in a bipartite
+//! user–video interaction graph where "hot" videos are watched by users of
+//! every preference cluster and become indistinguishable under naive
+//! aggregation. Node-aware aggregation is what recovers them.
+//!
+//! ```sh
+//! cargo run --release --example industrial_bipartite
+//! ```
+
+use lasagne::prelude::*;
+
+fn main() {
+    let ds = Dataset::generate(DatasetId::Tencent, 0);
+    let items = ds.label_pool.len();
+    println!(
+        "tencent-sim: {} items + {} users, {} classes, avg item degree {:.1}",
+        items,
+        ds.num_nodes() - items,
+        ds.num_classes,
+        (0..items).map(|i| ds.graph.degree(i)).sum::<usize>() as f64 / items as f64,
+    );
+
+    // Show the planted pathology: the hottest items really are ambiguous.
+    let mut by_degree: Vec<usize> = (0..items).collect();
+    by_degree.sort_by_key(|&i| std::cmp::Reverse(ds.graph.degree(i)));
+    let hot = &by_degree[..5];
+    println!("hottest videos (degree): {:?}", hot.iter().map(|&i| ds.graph.degree(i)).collect::<Vec<_>>());
+
+    let hyper = Hyper::for_dataset(DatasetId::Tencent);
+    let train_cfg = TrainConfig { max_epochs: 120, ..TrainConfig::from_hyper(&hyper) };
+    let ctx = GraphContext::from_dataset(&ds);
+    let mut rng = TensorRng::seed_from_u64(0);
+
+    let mut gcn = models::Gcn::new(ds.num_features(), ds.num_classes, &hyper.clone().with_depth(4), 0);
+    let mut strat = FullBatch::from_dataset(&ds);
+    let r_gcn = fit(&mut gcn, &mut strat, &ctx, &ds.split, &train_cfg, &mut rng);
+
+    let cfg = LasagneConfig::from_hyper(&hyper.clone().with_depth(4), AggregatorKind::Stochastic);
+    let mut lasagne = Lasagne::new(ds.num_features(), ds.num_classes, Some(ds.num_nodes()), &cfg, 0);
+    let mut strat = FullBatch::from_dataset(&ds);
+    let r_las = fit(&mut lasagne, &mut strat, &ctx, &ds.split, &train_cfg, &mut rng);
+
+    println!("GCN-4                 test accuracy: {:.1}%", 100.0 * r_gcn.test_acc);
+    println!("Lasagne(Stochastic)-4 test accuracy: {:.1}%", 100.0 * r_las.test_acc);
+    println!(
+        "(the paper reports 45.9% vs 48.7% on the real 1M-node graph — the \
+         absolute level differs on synthetic data, the ordering is the point)"
+    );
+}

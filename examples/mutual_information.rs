@@ -1,0 +1,37 @@
+//! The paper's §3.2 analysis in miniature: estimate `I(H(l); X)` for each
+//! hidden layer of a deep GCN and watch the information wash out
+//! (over-smoothing as diminishing feature reuse).
+//!
+//! ```sh
+//! cargo run --release --example mutual_information
+//! ```
+
+use lasagne::prelude::*;
+
+fn main() {
+    let ds = Dataset::generate(DatasetId::Cora, 0);
+    let ctx = GraphContext::from_dataset(&ds);
+    let hyper = Hyper::for_dataset(DatasetId::Cora).with_depth(8);
+    let train_cfg = TrainConfig { max_epochs: 100, ..TrainConfig::from_hyper(&hyper) };
+
+    let mut model = models::Gcn::new(ds.num_features(), ds.num_classes, &hyper, 3);
+    let mut strat = FullBatch::from_dataset(&ds);
+    let mut rng = TensorRng::seed_from_u64(3);
+    let result = fit(&mut model, &mut strat, &ctx, &ds.split, &train_cfg, &mut rng);
+    println!(
+        "8-layer GCN converged at {:.1}% test accuracy — now dissecting it.\n",
+        100.0 * result.test_acc
+    );
+
+    let mut tape = Tape::new();
+    let (_, hiddens) = model.forward_with_hiddens(&mut tape, &ctx, Mode::Eval, &mut rng);
+    let est = MiEstimator::default();
+    let mut mi_rng = TensorRng::seed_from_u64(0);
+    println!("layer   I(H(l); X) in nats");
+    for (l, &h) in hiddens.iter().enumerate() {
+        let mi = est.estimate(tape.value(h), &ctx.features, &mut mi_rng);
+        let bar = "#".repeat((mi * 12.0).max(0.0) as usize);
+        println!("H({})    {mi:>5.2}  {bar}", l + 1);
+    }
+    println!("\nExpected shape: MI decays toward the deep layers (Fig 2's vanilla-GCN curve).");
+}

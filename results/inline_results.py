@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Inline the measured results (results/*.txt) into EXPERIMENTS.md at the
+<!-- MARKER --> placeholders, wrapped in code fences."""
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+MARKERS = {
+    "TABLE3": "table3.txt",
+    "TABLE4": "table4.txt",
+    "TABLE5": "table5.txt",
+    "TABLE6": "table6.txt",
+    "TABLE7": "table7.txt",
+    "TABLE8": "table8.txt",
+    "FIG2": "fig2.txt",
+    "FIG5": "fig5.txt",
+    "FIG6": "fig6.txt",
+    "FIG7": "fig7.txt",
+    "LOCALITY": "locality.txt",
+    "ABLATION": "ablation.txt",
+}
+
+doc = (ROOT / "EXPERIMENTS.md").read_text()
+for marker, fname in MARKERS.items():
+    path = ROOT / "results" / fname
+    tag = f"<!-- {marker} -->"
+    if tag not in doc:
+        continue
+    if path.exists() and path.stat().st_size > 0:
+        lines = [
+            l for l in path.read_text().splitlines()
+            if not l.startswith("===") and l.strip() not in ("done", "FAILED")
+        ]
+        body = "\n".join(lines).strip("\n")
+        block = f"```text\n{body}\n```"
+    else:
+        block = "_not recorded in this run_"
+    doc = doc.replace(tag, block)
+(ROOT / "EXPERIMENTS.md").write_text(doc)
+print("inlined")

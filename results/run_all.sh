@@ -1,0 +1,18 @@
+#!/bin/bash
+# Regenerate every paper artifact into results/*.txt.
+#
+# Knobs: LASAGNE_SEEDS (default 2 here; paper uses 10), LASAGNE_EPOCHS
+# (default 150; paper uses 400), LASAGNE_FIG5_DATASETS (comma list).
+# Full run takes a few hours on one CPU core; see EXPERIMENTS.md for the
+# settings used in the recorded run.
+cd "$(dirname "$0")/.."
+export LASAGNE_SEEDS=${LASAGNE_SEEDS:-2}
+export LASAGNE_EPOCHS=${LASAGNE_EPOCHS:-150}
+BIN=target/release
+cargo build --release -p lasagne-bench
+for t in table3 table4 table5 table6 table7 table8 fig2 fig5 fig6 fig7 locality ablation; do
+  echo "=== $t ($(date +%H:%M:%S)) ==="
+  if $BIN/$t > results/$t.txt 2> results/$t.log; then echo "done $t"; else echo "FAILED $t"; fi
+done
+python3 results/inline_results.py
+echo "ALL DONE $(date +%H:%M:%S)"

@@ -1,0 +1,5 @@
+#!/bin/bash
+# Final touch-ups after the second pass: fig6 with the hidden-layer probe.
+cd /root/repo
+export LASAGNE_SEEDS=2 LASAGNE_EPOCHS=150
+target/release/fig6 > results/fig6.txt 2> results/fig6.log && echo done-fig6

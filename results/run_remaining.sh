@@ -1,0 +1,19 @@
+#!/bin/bash
+# Second pass: artifacts not yet recorded + reruns affected by the
+# multi-head GAT / PCA-MI / locality fixes. Ordered so every table records.
+cd /root/repo
+export LASAGNE_SEEDS=${LASAGNE_SEEDS:-2}
+export LASAGNE_EPOCHS=${LASAGNE_EPOCHS:-150}
+BIN=target/release
+run() { echo "=== $1 ($(date +%H:%M:%S)) ==="; shift; "$@" && echo "done" || echo "FAILED"; }
+run fig2     $BIN/fig2      > results/fig2.txt     2> results/fig2.log
+run fig6     $BIN/fig6      > results/fig6.txt     2> results/fig6.log
+run locality $BIN/locality  > results/locality.txt 2> results/locality.log
+run fig7     $BIN/fig7      > results/fig7.txt     2> results/fig7.log
+run table4   $BIN/table4    > results/table4.txt   2> results/table4.log
+run ablation $BIN/ablation  > results/ablation.txt 2> results/ablation.log
+run table5   $BIN/table5    > results/table5.txt   2> results/table5.log
+run table8   $BIN/table8    > results/table8.txt   2> results/table8.log
+run fig5     env LASAGNE_SEEDS=1 LASAGNE_FIG5_DATASETS=cora,citeseer,pubmed $BIN/fig5 > results/fig5.txt 2> results/fig5.log
+run table3   $BIN/table3    > results/table3.txt   2> results/table3.log
+echo "REMAINING DONE $(date +%H:%M:%S)"

@@ -1,0 +1,13 @@
+#!/bin/bash
+cd /root/repo
+BIN=target/release
+export LASAGNE_EPOCHS=120
+echo "table5 $(date +%H:%M:%S)"
+LASAGNE_SEEDS=1 $BIN/table5 > results/table5.txt 2> results/table5.log
+echo "table8 $(date +%H:%M:%S)"
+LASAGNE_SEEDS=1 $BIN/table8 > results/table8.txt 2> results/table8.log
+echo "fig5 $(date +%H:%M:%S)"
+LASAGNE_SEEDS=1 LASAGNE_FIG5_DATASETS=cora,citeseer $BIN/fig5 > results/fig5.txt 2> results/fig5.log
+echo "fig6 $(date +%H:%M:%S)"
+LASAGNE_SEEDS=2 $BIN/fig6 > results/fig6.txt 2> results/fig6.log
+echo "TAIL DONE $(date +%H:%M:%S)"

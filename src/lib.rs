@@ -1,0 +1,52 @@
+//! # Lasagne — node-aware deep GCNs, in Rust
+//!
+//! A full-stack reproduction of *"Lasagne: A Multi-Layer Graph
+//! Convolutional Network Framework via Node-aware Deep Architecture"*
+//! (Miao et al., ICDE 2022): the Lasagne model (three node-aware layer
+//! aggregators + the GC-FM output layer), thirteen published baselines, a
+//! tape-based autodiff engine, sparse graph kernels, synthetic equivalents
+//! of the paper's eleven datasets, mutual-information estimators, and a
+//! training/experiment harness that regenerates every table and figure of
+//! the paper's evaluation.
+//!
+//! This facade re-exports the public API of all workspace crates under one
+//! roof; see the `examples/` directory for runnable entry points and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction notes.
+//!
+//! ```
+//! use lasagne::prelude::*;
+//!
+//! let ds = Dataset::generate(DatasetId::Cora, 0);
+//! let ctx = GraphContext::from_dataset(&ds);
+//! let cfg = LasagneConfig::from_hyper(
+//!     &Hyper::for_dataset(DatasetId::Cora).with_depth(4),
+//!     AggregatorKind::Stochastic,
+//! );
+//! let model = Lasagne::new(ds.num_features(), ds.num_classes, Some(ds.num_nodes()), &cfg, 0);
+//! assert!(model.name().starts_with("Lasagne"));
+//! # let _ = ctx;
+//! ```
+
+pub use lasagne_autograd as autograd;
+pub use lasagne_core as core;
+pub use lasagne_datasets as datasets;
+pub use lasagne_gnn as gnn;
+pub use lasagne_graph as graph;
+pub use lasagne_mi as mi;
+pub use lasagne_sparse as sparse;
+pub use lasagne_tensor as tensor;
+pub use lasagne_train as train;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use lasagne_autograd::{Adam, Optimizer, ParamStore, Sgd, Tape};
+    pub use lasagne_core::{AggregatorKind, BaseConv, Lasagne, LasagneConfig};
+    pub use lasagne_datasets::{Dataset, DatasetId, Split, Task};
+    pub use lasagne_gnn::sampling::{ClusterBatches, FullBatch, SaintNodeSampler};
+    pub use lasagne_gnn::{models, GraphContext, Hyper, Mode, NodeClassifier};
+    pub use lasagne_graph::{average_path_length, pagerank, Graph};
+    pub use lasagne_mi::MiEstimator;
+    pub use lasagne_sparse::Csr;
+    pub use lasagne_tensor::{Tensor, TensorRng};
+    pub use lasagne_train::{accuracy, fit, run_seeds, Table, TrainConfig};
+}

@@ -1,0 +1,87 @@
+//! Integration test: every synthetic dataset matches the statistics its
+//! spec promises (the Table 2 substitution contract of DESIGN.md §3).
+
+use lasagne::prelude::*;
+use lasagne_graph::degree_stats;
+
+/// The spec is the contract: node counts exact, mean degree within 25%,
+/// homophily within 0.1, splits exactly sized and disjoint.
+fn check(id: DatasetId) {
+    let ds = Dataset::generate(id, 0);
+    let spec = &ds.spec;
+    assert_eq!(ds.num_nodes(), spec.nodes, "{id}: node count");
+    assert_eq!(ds.num_classes, spec.classes, "{id}: class count");
+    assert_eq!(ds.num_features(), spec.features, "{id}: feature dim");
+
+    let deg = ds.graph.average_degree();
+    assert!(
+        (deg - spec.avg_degree).abs() / spec.avg_degree < 0.25,
+        "{id}: avg degree {deg:.2} vs target {}",
+        spec.avg_degree
+    );
+
+    // Homophily only meaningful where labels drive edges directly
+    // (the bipartite Tencent graph plants preference structure instead).
+    if id != DatasetId::Tencent {
+        let h = ds.graph.edge_homophily(&ds.labels);
+        assert!(
+            (h - spec.homophily).abs() < 0.1,
+            "{id}: homophily {h:.3} vs target {}",
+            spec.homophily
+        );
+    }
+
+    assert_eq!(ds.split.train.len(), spec.train, "{id}: train size");
+    assert_eq!(ds.split.val.len(), spec.val, "{id}: val size");
+    assert_eq!(ds.split.test.len(), spec.test, "{id}: test size");
+    ds.split.validate(ds.num_nodes());
+
+    // The locality story needs hubs: heavy-tailed degree distribution.
+    let stats = degree_stats(&ds.graph);
+    assert!(
+        stats.max as f64 > 5.0 * stats.mean,
+        "{id}: max degree {} vs mean {:.1} — no hubs",
+        stats.max,
+        stats.mean
+    );
+}
+
+#[test]
+fn citation_datasets_match_their_specs() {
+    for id in DatasetId::citation() {
+        check(id);
+    }
+}
+
+#[test]
+fn remaining_transductive_datasets_match_their_specs() {
+    for id in [
+        DatasetId::Nell,
+        DatasetId::AmazonComputer,
+        DatasetId::AmazonPhoto,
+        DatasetId::CoauthorCs,
+        DatasetId::CoauthorPhysics,
+        DatasetId::Tencent,
+    ] {
+        check(id);
+    }
+}
+
+#[test]
+fn inductive_datasets_match_their_specs() {
+    for id in [DatasetId::Flickr, DatasetId::Reddit] {
+        check(id);
+    }
+}
+
+#[test]
+fn paper_statistics_are_recorded_for_every_dataset() {
+    // The substitution table must carry the original Table 2 numbers.
+    for id in DatasetId::all() {
+        let s = lasagne_datasets::spec(id);
+        assert!(s.paper_nodes >= s.nodes, "{id}: paper nodes not recorded");
+        assert!(s.paper_classes >= s.classes);
+        assert!(s.paper_features >= s.features);
+        assert!(s.paper_edges > 0);
+    }
+}

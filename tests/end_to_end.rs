@@ -1,0 +1,168 @@
+//! Cross-crate integration tests: dataset → context → model → trainer →
+//! metrics, exercising the public API the examples and benches use.
+
+use lasagne::prelude::*;
+
+fn quick_cfg(hyper: &Hyper, epochs: usize) -> TrainConfig {
+    TrainConfig {
+        max_epochs: epochs,
+        patience: 20,
+        ..TrainConfig::from_hyper(hyper)
+    }
+}
+
+#[test]
+fn gcn_pipeline_beats_majority_class() {
+    let ds = Dataset::generate(DatasetId::Cora, 0);
+    let hyper = Hyper::for_dataset(DatasetId::Cora);
+    let ctx = GraphContext::from_dataset(&ds);
+    let mut model = models::Gcn::new(ds.num_features(), ds.num_classes, &hyper, 0);
+    let mut strat = FullBatch::from_dataset(&ds);
+    let mut rng = TensorRng::seed_from_u64(0);
+    let r = fit(&mut model, &mut strat, &ctx, &ds.split, &quick_cfg(&hyper, 80), &mut rng);
+    assert!(
+        r.test_acc > ds.majority_baseline() + 0.25,
+        "GCN {:.3} vs majority {:.3}",
+        r.test_acc,
+        ds.majority_baseline()
+    );
+}
+
+#[test]
+fn lasagne_all_aggregators_train_end_to_end() {
+    let ds = Dataset::generate(DatasetId::Cora, 1);
+    let hyper = Hyper::for_dataset(DatasetId::Cora).with_depth(4);
+    let ctx = GraphContext::from_dataset(&ds);
+    for agg in AggregatorKind::all() {
+        let cfg = LasagneConfig::from_hyper(&hyper, agg);
+        let mut model = Lasagne::new(
+            ds.num_features(),
+            ds.num_classes,
+            Some(ds.num_nodes()),
+            &cfg,
+            1,
+        );
+        let mut strat = FullBatch::from_dataset(&ds);
+        let mut rng = TensorRng::seed_from_u64(1);
+        let r = fit(&mut model, &mut strat, &ctx, &ds.split, &quick_cfg(&hyper, 60), &mut rng);
+        assert!(
+            r.test_acc > 0.5,
+            "Lasagne({}) test accuracy {:.3} too low",
+            agg.label(),
+            r.test_acc
+        );
+    }
+}
+
+#[test]
+fn deep_lasagne_survives_where_deep_gcn_collapses() {
+    // The headline claim of the paper, as an invariant: at depth 8 on a
+    // hub-heavy graph, Lasagne's accuracy stays far above vanilla GCN's.
+    let ds = Dataset::generate(DatasetId::Cora, 2);
+    let hyper = Hyper::for_dataset(DatasetId::Cora).with_depth(8);
+    let ctx = GraphContext::from_dataset(&ds);
+    let cfg_train = quick_cfg(&hyper, 100);
+    let mut rng = TensorRng::seed_from_u64(2);
+
+    let mut gcn = models::Gcn::new(ds.num_features(), ds.num_classes, &hyper, 2);
+    let mut strat = FullBatch::from_dataset(&ds);
+    let r_gcn = fit(&mut gcn, &mut strat, &ctx, &ds.split, &cfg_train, &mut rng);
+
+    let cfg = LasagneConfig::from_hyper(&hyper, AggregatorKind::Weighted);
+    let mut las = Lasagne::new(ds.num_features(), ds.num_classes, Some(ds.num_nodes()), &cfg, 2);
+    let mut strat = FullBatch::from_dataset(&ds);
+    let r_las = fit(&mut las, &mut strat, &ctx, &ds.split, &cfg_train, &mut rng);
+
+    assert!(
+        r_las.test_acc > r_gcn.test_acc + 0.03,
+        "depth-8: Lasagne {:.3} must clearly beat GCN {:.3}",
+        r_las.test_acc,
+        r_gcn.test_acc
+    );
+}
+
+#[test]
+fn inductive_training_never_sees_test_nodes() {
+    let ds = Dataset::generate(DatasetId::Flickr, 0);
+    let view = ds.inductive_train_view();
+    // No validation or test node leaks into the training view.
+    let train_set: std::collections::HashSet<usize> = ds.split.train.iter().copied().collect();
+    for &orig in &view.original_ids {
+        assert!(train_set.contains(&orig));
+    }
+
+    // An inductive-capable model trained on the view evaluates on the full
+    // graph and beats chance.
+    let hyper = Hyper::for_dataset(DatasetId::Flickr);
+    let train_ctx = GraphContext::new(
+        &view.graph,
+        view.features.clone(),
+        view.labels.clone(),
+        ds.num_classes,
+    );
+    let eval_ctx = GraphContext::from_dataset(&ds);
+    let mut model = models::GraphSage::new(ds.num_features(), ds.num_classes, &hyper, 0);
+    let mut strat = FullBatch::new(train_ctx, (0..view.graph.num_nodes()).collect());
+    let mut rng = TensorRng::seed_from_u64(0);
+    let r = fit(&mut model, &mut strat, &eval_ctx, &ds.split, &quick_cfg(&hyper, 40), &mut rng);
+    assert!(r.test_acc > 1.5 / ds.num_classes as f64, "inductive acc {:.3}", r.test_acc);
+}
+
+#[test]
+fn cluster_and_saint_strategies_train_models() {
+    let ds = Dataset::generate(DatasetId::Cora, 3);
+    let hyper = Hyper::for_dataset(DatasetId::Cora);
+    let ctx = GraphContext::from_dataset(&ds);
+    let mut rng = TensorRng::seed_from_u64(3);
+
+    let mut m1 = models::Gcn::new(ds.num_features(), ds.num_classes, &hyper, 3);
+    let mut cluster = ClusterBatches::new(&ds, 8, &mut rng);
+    let r1 = fit(&mut m1, &mut cluster, &ctx, &ds.split, &quick_cfg(&hyper, 60), &mut rng);
+    assert!(r1.test_acc > ds.majority_baseline() + 0.15, "clustergcn {:.3}", r1.test_acc);
+
+    let mut m2 = models::Gcn::new(ds.num_features(), ds.num_classes, &hyper, 3);
+    let mut saint = SaintNodeSampler::new(&ds, 1200);
+    let r2 = fit(&mut m2, &mut saint, &ctx, &ds.split, &quick_cfg(&hyper, 60), &mut rng);
+    assert!(r2.test_acc > ds.majority_baseline() + 0.15, "graphsaint {:.3}", r2.test_acc);
+}
+
+#[test]
+fn mi_analysis_detects_oversmoothing_in_deep_gcn() {
+    // Fig 2's core signal as an invariant: for a converged deep GCN the
+    // last layer's MI with X is below the first hidden layer's.
+    let ds = Dataset::generate(DatasetId::Cora, 4);
+    let hyper = Hyper::for_dataset(DatasetId::Cora).with_depth(8);
+    let ctx = GraphContext::from_dataset(&ds);
+    let mut model = models::Gcn::new(ds.num_features(), ds.num_classes, &hyper, 4);
+    let mut strat = FullBatch::from_dataset(&ds);
+    let mut rng = TensorRng::seed_from_u64(4);
+    let _ = fit(&mut model, &mut strat, &ctx, &ds.split, &quick_cfg(&hyper, 80), &mut rng);
+
+    let mut tape = Tape::new();
+    let (_, hiddens) = model.forward_with_hiddens(&mut tape, &ctx, Mode::Eval, &mut rng);
+    let est = MiEstimator { max_samples: 500, ..Default::default() };
+    let mut mi_rng = TensorRng::seed_from_u64(0);
+    let first = est.estimate(tape.value(hiddens[0]), &ctx.features, &mut mi_rng);
+    let last = est.estimate(tape.value(*hiddens.last().unwrap()), &ctx.features, &mut mi_rng);
+    assert!(
+        last < first,
+        "over-smoothing: MI must decay with depth (first {first:.3}, last {last:.3})"
+    );
+}
+
+#[test]
+fn experiment_runner_aggregates_deterministically() {
+    let ds = Dataset::generate(DatasetId::Cora, 5);
+    let hyper = Hyper::for_dataset(DatasetId::Cora);
+    let ctx = GraphContext::from_dataset(&ds);
+    let one = |seed: u64| {
+        let mut m = models::Gcn::new(ds.num_features(), ds.num_classes, &hyper, seed);
+        let mut strat = FullBatch::from_dataset(&ds);
+        let mut rng = TensorRng::seed_from_u64(seed);
+        fit(&mut m, &mut strat, &ctx, &ds.split, &quick_cfg(&hyper, 30), &mut rng)
+    };
+    let a = run_seeds(2, 7, one);
+    let b = run_seeds(2, 7, one);
+    assert_eq!(a.accs, b.accs, "same seeds must reproduce identical results");
+    assert!(a.std >= 0.0);
+}
