@@ -1,43 +1,38 @@
 //! Ablation bench: forward cost of one Lasagne pass per aggregator (the
 //! design-choice cost DESIGN.md calls out), plus the GC-FM layer on/off.
+//! Plain binary on the `lasagne-testkit` timer.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
 use lasagne_autograd::Tape;
 use lasagne_core::{AggregatorKind, Lasagne, LasagneConfig};
 use lasagne_datasets::{Dataset, DatasetId};
 use lasagne_gnn::{GraphContext, Hyper, Mode, NodeClassifier};
 use lasagne_tensor::TensorRng;
+use lasagne_testkit::bench_with;
 
-fn bench_aggregators(c: &mut Criterion) {
+fn main() {
     let ds = Dataset::generate(DatasetId::Cora, 0);
     let ctx = GraphContext::from_dataset(&ds);
     let hyper = Hyper::for_dataset(DatasetId::Cora).with_depth(5);
 
-    let mut group = c.benchmark_group("lasagne_forward_depth5");
-    group.sample_size(10);
     for agg in AggregatorKind::extended() {
         let cfg = LasagneConfig::from_hyper(&hyper, agg);
         let model = Lasagne::new(ds.num_features(), ds.num_classes, Some(ds.num_nodes()), &cfg, 0);
         let mut rng = TensorRng::seed_from_u64(0);
-        group.bench_function(agg.label(), |b| {
-            b.iter(|| {
-                let mut tape = Tape::new();
-                let _ = model.forward(&mut tape, &ctx, Mode::Train, &mut rng);
-            })
+        let r = bench_with(&format!("lasagne_forward_depth5/{}", agg.label()), 2, 10, || {
+            let mut tape = Tape::new();
+            black_box(model.forward(&mut tape, &ctx, Mode::Train, &mut rng));
         });
+        println!("{r}");
     }
     // GC-FM ablation cost.
     let cfg = LasagneConfig::from_hyper(&hyper, AggregatorKind::Weighted).with_gcfm(false);
     let model = Lasagne::new(ds.num_features(), ds.num_classes, Some(ds.num_nodes()), &cfg, 0);
     let mut rng = TensorRng::seed_from_u64(0);
-    group.bench_function("Weighted (no GC-FM)", |b| {
-        b.iter(|| {
-            let mut tape = Tape::new();
-            let _ = model.forward(&mut tape, &ctx, Mode::Train, &mut rng);
-        })
+    let r = bench_with("lasagne_forward_depth5/Weighted (no GC-FM)", 2, 10, || {
+        let mut tape = Tape::new();
+        black_box(model.forward(&mut tape, &ctx, Mode::Train, &mut rng));
     });
-    group.finish();
+    println!("{r}");
 }
-
-criterion_group!(aggregators, bench_aggregators);
-criterion_main!(aggregators);

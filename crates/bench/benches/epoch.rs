@@ -1,43 +1,37 @@
-//! Criterion version of **Fig 7(a)**: one full training epoch (forward +
+//! Bench version of **Fig 7(a)**: one full training epoch (forward +
 //! backward + Adam step) of GCN vs Lasagne (Weighted) vs GAT at depth 4 on
 //! Cora-sim. The paper's claim: Lasagne tracks GCN; GAT is far slower.
+//! Plain binary on the `lasagne-testkit` timer.
 
 use std::rc::Rc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lasagne_autograd::{Adam, Optimizer, Tape};
 use lasagne_bench::build_model;
 use lasagne_datasets::{Dataset, DatasetId};
 use lasagne_gnn::{GraphContext, Hyper, Mode};
 use lasagne_tensor::TensorRng;
+use lasagne_testkit::bench_with;
 
-fn bench_epoch(c: &mut Criterion) {
+fn main() {
     let ds = Dataset::generate(DatasetId::Cora, 0);
     let ctx = GraphContext::from_dataset(&ds);
     let labels = Rc::new(ds.labels.clone());
     let idx = Rc::new(ds.split.train.clone());
 
-    let mut group = c.benchmark_group("epoch_depth4_cora");
-    group.sample_size(10);
     for name in ["GCN", "Lasagne (Weighted)", "GAT"] {
         let hyper = Hyper::for_dataset(DatasetId::Cora).with_depth(4);
         let mut model = build_model(name, &ds, &hyper, 0);
         let mut opt = Adam::new(model.store(), hyper.lr, hyper.weight_decay);
         let mut rng = TensorRng::seed_from_u64(0);
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut tape = Tape::new();
-                let out = model.forward(&mut tape, &ctx, Mode::Train, &mut rng);
-                let lp = tape.log_softmax(out.logits);
-                let loss = tape.nll_masked(lp, labels.clone(), idx.clone());
-                model.store_mut().zero_grads();
-                tape.backward(loss, model.store_mut());
-                opt.step(model.store_mut());
-            })
+        let r = bench_with(&format!("epoch_depth4_cora/{name}"), 2, 10, || {
+            let mut tape = Tape::new();
+            let out = model.forward(&mut tape, &ctx, Mode::Train, &mut rng);
+            let lp = tape.log_softmax(out.logits);
+            let loss = tape.nll_masked(lp, labels.clone(), idx.clone());
+            model.store_mut().zero_grads();
+            tape.backward(loss, model.store_mut());
+            opt.step(model.store_mut());
         });
+        println!("{r}");
     }
-    group.finish();
 }
-
-criterion_group!(epoch, bench_epoch);
-criterion_main!(epoch);

@@ -1,25 +1,31 @@
-//! Criterion benches for the numeric kernels under every model: dense
-//! matmul (all three transposition variants), SpMM, and normalization.
+//! Benches for the numeric kernels under every model: dense matmul (all
+//! three transposition variants), SpMM, and normalization. Plain binary on
+//! the `lasagne-testkit` timer (`harness = false`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
 use lasagne_sparse::Csr;
 use lasagne_tensor::TensorRng;
+use lasagne_testkit::bench;
 
-fn bench_matmul(c: &mut Criterion) {
+fn bench_matmul() {
     let mut rng = TensorRng::seed_from_u64(0);
     let a = rng.uniform_tensor(512, 128, -1.0, 1.0);
     let b = rng.uniform_tensor(128, 64, -1.0, 1.0);
     let g = rng.uniform_tensor(512, 64, -1.0, 1.0);
-    let mut group = c.benchmark_group("matmul");
-    group.sample_size(20);
-    group.bench_function("nn_512x128x64", |bench| bench.iter(|| a.matmul(&b)));
-    group.bench_function("tn_512x128x64", |bench| bench.iter(|| a.matmul_tn(&g)));
+    bench("matmul/nn_512x128x64", || {
+        black_box(a.matmul(&b));
+    });
+    bench("matmul/tn_512x128x64", || {
+        black_box(a.matmul_tn(&g));
+    });
     // A·Bᵀ with shared 64-dim inner axis: (512×64)·(128×64)ᵀ → 512×128.
-    group.bench_function("nt_512x64x128", |bench| bench.iter(|| g.matmul_nt(&b)));
-    group.finish();
+    bench("matmul/nt_512x64x128", || {
+        black_box(g.matmul_nt(&b));
+    });
 }
 
-fn bench_spmm(c: &mut Criterion) {
+fn bench_spmm() {
     let mut rng = TensorRng::seed_from_u64(1);
     // A cora-sized sparse operator.
     let mut coo = Vec::new();
@@ -36,18 +42,18 @@ fn bench_spmm(c: &mut Criterion) {
     let a_hat = adj.gcn_normalize();
     let h = rng.uniform_tensor(n as usize, 32, -1.0, 1.0);
 
-    let mut group = c.benchmark_group("spmm");
-    group.sample_size(30);
-    group.bench_function("cora_scale_x32", |bench| bench.iter(|| a_hat.spmm(&h)));
-    group.bench_function("cora_scale_x32_transposed", |bench| bench.iter(|| a_hat.spmm_t(&h)));
-    group.bench_function(
-        "gcn_normalize",
-        |bench| {
-            bench.iter_batched(|| adj.clone(), |a| a.gcn_normalize(), BatchSize::SmallInput)
-        },
-    );
-    group.finish();
+    bench("spmm/cora_scale_x32", || {
+        black_box(a_hat.spmm(&h));
+    });
+    bench("spmm/cora_scale_x32_transposed", || {
+        black_box(a_hat.spmm_t(&h));
+    });
+    bench("spmm/gcn_normalize", || {
+        black_box(adj.clone().gcn_normalize());
+    });
 }
 
-criterion_group!(kernels, bench_matmul, bench_spmm);
-criterion_main!(kernels);
+fn main() {
+    bench_matmul();
+    bench_spmm();
+}

@@ -1,30 +1,24 @@
 //! Bench for the KSG mutual-information estimator (the Fig 2/6 workhorse):
-//! O(N²) in the subsample size, so the `max_samples` cap matters.
+//! O(N²) in the subsample size, so the `max_samples` cap matters. Plain
+//! binary on the `lasagne-testkit` timer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
 use lasagne_mi::MiEstimator;
 use lasagne_tensor::TensorRng;
+use lasagne_testkit::bench_with;
 
-fn bench_mi(c: &mut Criterion) {
+fn main() {
     let mut rng = TensorRng::seed_from_u64(0);
     let x = rng.normal_tensor(2708, 128, 0.0, 1.0);
     let y = x.add(&rng.normal_tensor(2708, 128, 0.0, 0.5));
 
-    let mut group = c.benchmark_group("ksg_mi_cora_scale");
-    group.sample_size(10);
     for max_samples in [200usize, 500, 800] {
         let est = MiEstimator { max_samples, n_projections: 1, ..MiEstimator::default() };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(max_samples),
-            &max_samples,
-            |b, _| {
-                let mut mi_rng = TensorRng::seed_from_u64(1);
-                b.iter(|| est.estimate(&x, &y, &mut mi_rng))
-            },
-        );
+        let mut mi_rng = TensorRng::seed_from_u64(1);
+        let r = bench_with(&format!("ksg_mi_cora_scale/{max_samples}"), 2, 10, || {
+            black_box(est.estimate(&x, &y, &mut mi_rng));
+        });
+        println!("{r}");
     }
-    group.finish();
 }
-
-criterion_group!(mi, bench_mi);
-criterion_main!(mi);

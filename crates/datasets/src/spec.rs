@@ -1,10 +1,8 @@
 //! The dataset registry: Table 2 of the paper, with the scalings this
 //! reproduction applies (single-core CPU budget).
 
-use serde::{Deserialize, Serialize};
-
 /// Transductive vs inductive node classification (Table 2's "Task" column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Task {
     /// The whole graph (including test nodes) is visible during training;
     /// only training labels are.
@@ -14,8 +12,10 @@ pub enum Task {
     Inductive,
 }
 
-/// Identifier of one of the 11 evaluation datasets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// Identifier of one of the 11 evaluation datasets. Serializes through its
+/// canonical [`name`](DatasetId::name) / [`FromStr`](std::str::FromStr)
+/// pair rather than a derive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetId {
     /// Citation network, 2708 nodes (paper-scale).
     Cora,

@@ -1,61 +1,56 @@
 //! Random initializers.
 //!
 //! All randomness in the stack flows through [`TensorRng`], a thin wrapper
-//! over a seedable PRNG, so every experiment is reproducible from a single
-//! `u64` seed (the paper reports mean±std over repeated seeded runs).
+//! over the workspace's own seedable PRNG
+//! ([`lasagne_testkit::Rng`](lasagne_testkit::rng::Rng), splitmix64-seeded
+//! xoshiro256\*\*), so every experiment is reproducible from a single
+//! `u64` seed (the paper reports mean±std over repeated seeded runs) and
+//! the workspace needs no registry dependency for randomness.
 
 use crate::Tensor;
-use rand::distributions::{Distribution, Uniform};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lasagne_testkit::rng::Rng;
 
 /// Seedable source of randomness for initializers, dropout masks, Bernoulli
 /// gates and data generation.
 pub struct TensorRng {
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl TensorRng {
     /// Deterministic RNG from a seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        TensorRng {
-            rng: StdRng::seed_from_u64(seed),
-        }
+        TensorRng { rng: Rng::seed_from_u64(seed) }
     }
 
     /// Split off an independent child stream (used to give each model its own
     /// stream while keeping the experiment seed single-valued).
     pub fn fork(&mut self) -> TensorRng {
-        TensorRng::seed_from_u64(self.rng.gen())
+        TensorRng { rng: self.rng.fork() }
     }
 
     /// Uniform sample in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
-        self.rng.gen_range(lo..hi)
+        self.rng.range_f32(lo, hi)
     }
 
     /// Uniform integer in `[0, n)`.
     pub fn index(&mut self, n: usize) -> usize {
-        self.rng.gen_range(0..n)
+        self.rng.index(n)
     }
 
     /// Standard-normal sample (Box–Muller).
     pub fn normal(&mut self) -> f32 {
-        // Box–Muller transform; u1 is kept away from 0 to avoid ln(0).
-        let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
-        let u2: f32 = self.rng.gen();
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+        self.rng.normal_f32()
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
     pub fn bernoulli(&mut self, p: f32) -> bool {
-        self.rng.gen::<f32>() < p.clamp(0.0, 1.0)
+        self.rng.bernoulli(p as f64)
     }
 
     /// `rows x cols` tensor with i.i.d. `U[lo, hi)` entries.
     pub fn uniform_tensor(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> Tensor {
-        let dist = Uniform::new(lo, hi);
-        let data = (0..rows * cols).map(|_| dist.sample(&mut self.rng)).collect();
+        let data = (0..rows * cols).map(|_| self.rng.range_f32(lo, hi)).collect();
         Tensor::from_vec(rows, cols, data).expect("uniform_tensor: internal size")
     }
 
@@ -81,35 +76,24 @@ impl TensorRng {
         );
         let scale = 1.0 / keep;
         let data = (0..rows * cols)
-            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .map(|_| if self.rng.next_f32() < keep { scale } else { 0.0 })
             .collect();
         Tensor::from_vec(rows, cols, data).expect("dropout_mask: internal size")
     }
 
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
-        for i in (1..xs.len()).rev() {
-            let j = self.rng.gen_range(0..=i);
-            xs.swap(i, j);
-        }
+        self.rng.shuffle(xs);
     }
 
     /// Sample `k` distinct indices from `[0, n)` (k ≤ n), in random order.
     pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
-        assert!(k <= n, "sample_indices: k={k} > n={n}");
-        // Partial Fisher–Yates over an index vector; O(n) setup, fine at the
-        // graph sizes used here.
-        let mut idx: Vec<usize> = (0..n).collect();
-        for i in 0..k {
-            let j = self.rng.gen_range(i..n);
-            idx.swap(i, j);
-        }
-        idx.truncate(k);
-        idx
+        self.rng.sample_indices(n, k)
     }
 
-    /// Raw access for callers needing distributions not wrapped here.
-    pub fn raw(&mut self) -> &mut StdRng {
+    /// Raw access to the underlying generator for callers needing
+    /// distributions not wrapped here.
+    pub fn raw(&mut self) -> &mut Rng {
         &mut self.rng
     }
 }

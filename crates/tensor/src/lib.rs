@@ -1,8 +1,8 @@
 //! Dense row-major 2-D `f32` tensors and the numeric kernels every layer of
 //! the Lasagne stack computes on.
 //!
-//! The crate is deliberately small and dependency-free (besides `rand` for
-//! initializers): it is the substitute for a BLAS/ndarray stack in this
+//! The crate is deliberately small and dependency-free (randomness comes
+//! from the in-workspace `lasagne-testkit` PRNG): it is the substitute for a BLAS/ndarray stack in this
 //! offline reproduction. Kernels are written so the hot inner loops are
 //! contiguous-slice iterations that LLVM auto-vectorizes.
 //!

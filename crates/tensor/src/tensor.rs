@@ -47,7 +47,6 @@ impl std::error::Error for TensorError {}
 /// Everything in the Lasagne stack — node features, hidden representations,
 /// weight matrices, per-node aggregation coefficients — is a `Tensor`.
 #[derive(Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Tensor {
     pub(crate) rows: usize,
     pub(crate) cols: usize,

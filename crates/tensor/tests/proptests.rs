@@ -1,37 +1,37 @@
-//! Property-based tests for the tensor kernels.
+//! Property-based tests for the tensor kernels, on the in-workspace
+//! `lasagne-testkit` harness (ported from the original `proptest` suite;
+//! every property is preserved and case counts match or exceed the
+//! originals' 256).
 
-use lasagne_tensor::Tensor;
-use proptest::prelude::*;
+use lasagne_tensor::{Tensor, TensorRng};
+use lasagne_testkit::gens::{dense, Dense};
+use lasagne_testkit::{prop_assert, prop_check};
 
-/// Strategy: a tensor with the given shape and small finite entries.
-fn tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-10.0f32..10.0, rows * cols)
-        .prop_map(move |v| Tensor::from_vec(rows, cols, v).unwrap())
+/// Materialize a generated [`Dense`] matrix as a `Tensor`.
+fn tensor_of(d: &Dense) -> Tensor {
+    Tensor::from_vec(d.rows, d.cols, d.data.clone()).unwrap()
 }
 
-/// Strategy: dimensions in a small range plus matching tensors for matmul.
-fn matmul_triple() -> impl Strategy<Value = (Tensor, Tensor, Tensor)> {
-    (1usize..6, 1usize..6, 1usize..6, 1usize..6).prop_flat_map(|(n, k, m, p)| {
-        (tensor(n, k), tensor(k, m), tensor(m, p))
-    })
-}
-
-proptest! {
-    #[test]
-    fn matmul_is_associative((a, b, c) in matmul_triple()) {
+prop_check! {
+    cases = 256,
+    fn matmul_is_associative(n in 1usize..6, k in 1usize..6, m in 1usize..6,
+                             p in 1usize..6, seed in 0u64..1_000_000) {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let a = rng.uniform_tensor(n, k, -10.0, 10.0);
+        let b = rng.uniform_tensor(k, m, -10.0, 10.0);
+        let c = rng.uniform_tensor(m, p, -10.0, 10.0);
         let left = a.matmul(&b).matmul(&c);
         let right = a.matmul(&b.matmul(&c));
         // f32 accumulation differs slightly between orders.
         prop_assert!(left.approx_eq(&right, 1e-2));
     }
+}
 
-    #[test]
-    fn matmul_distributes_over_add(
-        (n, k, m) in (1usize..6, 1usize..6, 1usize..6)
-            .prop_flat_map(|d| (Just(d.0), Just(d.1), Just(d.2))),
-        seed in 0u64..1000,
-    ) {
-        let mut rng = lasagne_tensor::TensorRng::seed_from_u64(seed);
+prop_check! {
+    cases = 256,
+    fn matmul_distributes_over_add(n in 1usize..6, k in 1usize..6, m in 1usize..6,
+                                   seed in 0u64..1000) {
+        let mut rng = TensorRng::seed_from_u64(seed);
         let a = rng.uniform_tensor(n, k, -2.0, 2.0);
         let b1 = rng.uniform_tensor(k, m, -2.0, 2.0);
         let b2 = rng.uniform_tensor(k, m, -2.0, 2.0);
@@ -39,12 +39,12 @@ proptest! {
         let rhs = a.matmul(&b1).add(&a.matmul(&b2));
         prop_assert!(lhs.approx_eq(&rhs, 1e-3));
     }
+}
 
-    #[test]
-    fn transpose_swaps_matmul(
-        seed in 0u64..1000,
-    ) {
-        let mut rng = lasagne_tensor::TensorRng::seed_from_u64(seed);
+prop_check! {
+    cases = 256,
+    fn transpose_swaps_matmul(seed in 0u64..1000) {
+        let mut rng = TensorRng::seed_from_u64(seed);
         let a = rng.uniform_tensor(4, 3, -1.0, 1.0);
         let b = rng.uniform_tensor(3, 5, -1.0, 1.0);
         // (A·B)ᵀ = Bᵀ·Aᵀ
@@ -52,51 +52,97 @@ proptest! {
         let rhs = b.transpose().matmul(&a.transpose());
         prop_assert!(lhs.approx_eq(&rhs, 1e-4));
     }
+}
 
-    #[test]
+prop_check! {
+    cases = 256,
     fn tn_and_nt_agree_with_naive(seed in 0u64..500) {
-        let mut rng = lasagne_tensor::TensorRng::seed_from_u64(seed);
+        let mut rng = TensorRng::seed_from_u64(seed);
         let a = rng.uniform_tensor(5, 4, -3.0, 3.0);
         let b = rng.uniform_tensor(5, 6, -3.0, 3.0);
         prop_assert!(a.matmul_tn(&b).approx_eq(&a.transpose().matmul(&b), 1e-3));
         let c = rng.uniform_tensor(7, 4, -3.0, 3.0);
         prop_assert!(a.matmul_nt(&c).approx_eq(&a.matmul(&c.transpose()), 1e-3));
     }
+}
 
-    #[test]
-    fn add_commutes(t in tensor(3, 4), seed in 0u64..100) {
-        let mut rng = lasagne_tensor::TensorRng::seed_from_u64(seed);
+prop_check! {
+    cases = 256,
+    fn add_commutes(d in dense(3..4, 4..5, -10.0, 10.0), seed in 0u64..100) {
+        let t = tensor_of(&d);
+        let mut rng = TensorRng::seed_from_u64(seed);
         let u = rng.uniform_tensor(3, 4, -5.0, 5.0);
         prop_assert!(t.add(&u).approx_eq(&u.add(&t), 1e-6));
     }
+}
 
-    #[test]
-    fn softmax_rows_are_distributions(t in tensor(4, 6)) {
-        let s = t.softmax_rows();
+prop_check! {
+    cases = 256,
+    fn softmax_rows_are_distributions(d in dense(4..5, 6..7, -10.0, 10.0)) {
+        let s = tensor_of(&d).softmax_rows();
         for i in 0..4 {
             let sum: f32 = s.row(i).iter().sum();
             prop_assert!((sum - 1.0).abs() < 1e-5);
             prop_assert!(s.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
     }
+}
 
-    #[test]
-    fn sum_rows_then_sum_equals_total(t in tensor(5, 3)) {
+prop_check! {
+    cases = 256,
+    fn sum_rows_then_sum_equals_total(d in dense(5..6, 3..4, -10.0, 10.0)) {
+        let t = tensor_of(&d);
         prop_assert!((t.sum_rows().sum() - t.sum()).abs() < 1e-3);
         prop_assert!((t.sum_cols().sum() - t.sum()).abs() < 1e-3);
     }
+}
 
-    #[test]
-    fn concat_cols_then_slice_round_trips(a in tensor(3, 2), b in tensor(3, 4)) {
+prop_check! {
+    cases = 256,
+    fn concat_cols_then_slice_round_trips(a in dense(3..4, 2..3, -10.0, 10.0),
+                                          b in dense(3..4, 4..5, -10.0, 10.0)) {
+        let (a, b) = (tensor_of(&a), tensor_of(&b));
         let c = Tensor::concat_cols(&[&a, &b]);
         prop_assert!(c.slice_cols(0, 2).approx_eq(&a, 0.0));
         prop_assert!(c.slice_cols(2, 6).approx_eq(&b, 0.0));
     }
+}
 
-    #[test]
-    fn relu_is_idempotent(t in tensor(3, 3)) {
-        let r = t.relu();
+prop_check! {
+    cases = 256,
+    fn relu_is_idempotent(d in dense(3..4, 3..4, -10.0, 10.0)) {
+        let r = tensor_of(&d).relu();
         prop_assert!(r.relu().approx_eq(&r, 0.0));
         prop_assert!(r.min() >= 0.0);
+    }
+}
+
+// New invariant (not in the original suite): log-softmax must equal the log
+// of softmax wherever softmax is bounded away from zero, and softmax must
+// equal exp(log-softmax) everywhere — on arbitrary shapes, including rows
+// with large logit spreads where naive implementations underflow.
+prop_check! {
+    cases = 256,
+    fn softmax_and_log_softmax_are_consistent(d in dense(1..7, 1..9, -30.0, 30.0)) {
+        let t = tensor_of(&d);
+        let sm = t.softmax_rows();
+        let lsm = t.log_softmax_rows();
+        // exp(log_softmax) == softmax element-wise.
+        prop_assert!(lsm.map(f32::exp).approx_eq(&sm, 1e-5));
+        for i in 0..t.rows() {
+            // Each log-softmax row log-sum-exps to 0 (it is a normalized
+            // log-distribution)...
+            let lse = {
+                let m = lsm.row(i).iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                m + lsm.row(i).iter().map(|v| (v - m).exp()).sum::<f32>().ln()
+            };
+            prop_assert!(lse.abs() < 1e-5, "row {i} log-sum-exp {lse}");
+            // ...and ln(softmax) matches wherever softmax has mass.
+            for (a, b) in sm.row(i).iter().zip(lsm.row(i)) {
+                if *a > 1e-6 {
+                    prop_assert!((a.ln() - b).abs() < 1e-4);
+                }
+            }
+        }
     }
 }

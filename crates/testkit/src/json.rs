@@ -1,0 +1,552 @@
+//! A small JSON value type with an exact-round-trip serializer and a
+//! recursive-descent parser — the workspace's replacement for
+//! `serde`/`serde_json`.
+//!
+//! Design points that matter to the stack:
+//!
+//! * **Numbers are `f64`** and are written with Rust's shortest-round-trip
+//!   `Display`, so every finite `f64` (and therefore every `f32` widened to
+//!   `f64`, which is exact) survives a write→parse cycle bit-for-bit. The
+//!   determinism regression test compares checkpoint *bytes*, which this
+//!   serializer keeps stable.
+//! * **Objects preserve insertion order** (`Vec<(String, Json)>`, not a
+//!   map), so serialization is deterministic and checkpoints diff cleanly.
+//! * Non-finite floats serialize as `null`, matching `serde_json`.
+
+use std::fmt;
+
+/// A JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parse failure: byte offset plus message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Object member by key (first match), if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The number as `usize`, if integral and in range.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|n| usize::try_from(n).ok())
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Build an array of numbers from `f32`s (each widened exactly).
+    pub fn from_f32s<I: IntoIterator<Item = f32>>(values: I) -> Json {
+        Json::Arr(values.into_iter().map(|v| Json::Num(v as f64)).collect())
+    }
+
+    /// Interpret an array of numbers as `f32`s (narrowing each element).
+    pub fn to_f32s(&self) -> Option<Vec<f32>> {
+        self.as_arr()?
+            .iter()
+            .map(|v| v.as_f64().map(|n| n as f32))
+            .collect()
+    }
+
+    /// Compact serialization.
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_number(*n, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// anything else after the value is an error).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string())
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == 0.0 && n.is_sign_negative() {
+        // The i64 fast path below would drop the sign of -0.0.
+        out.push_str("-0.0");
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        // Integral and exactly representable: write without the ".0" so
+        // counts/indices look like integers.
+        fmt::Write::write_fmt(out, format_args!("{}", n as i64)).unwrap();
+    } else {
+        // Rust's shortest-round-trip float formatting.
+        fmt::Write::write_fmt(out, format_args!("{n}")).unwrap();
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32)).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+const MAX_DEPTH: u32 = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { offset: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("invalid literal, expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        let v = match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        };
+        self.depth -= 1;
+        v
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by \uXXXX low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let combined =
+                                        0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&cp) {
+                                return Err(self.err("unpaired low surrogate"));
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                            // hex4 leaves pos one past the digits; undo the
+                            // unconditional advance below.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // bytes are valid UTF-8; copy the whole scalar).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).expect("input was a str");
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Four hex digits starting at `pos`; leaves `pos` after them.
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("non-ascii in \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad hex in \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError { offset: start, message: format!("invalid number '{text}'") })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(j: &Json) -> Json {
+        Json::parse(&j.to_string()).expect("round trip parse")
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for j in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Num(0.0),
+            Json::Num(-17.0),
+            Json::Num(3.5),
+            Json::Num(1e300),
+            Json::Str("hello".into()),
+            Json::Str("esc \" \\ \n \t ünïcode 🎉".into()),
+        ] {
+            assert_eq!(round_trip(&j), j, "{j:?}");
+        }
+    }
+
+    #[test]
+    fn every_f32_bit_pattern_we_care_about_round_trips() {
+        // Awkward f32s: subnormals, ulp-neighbors, repeating decimals.
+        let values = [
+            0.1f32,
+            -0.0f32,
+            -0.30000001f32,
+            f32::MIN_POSITIVE,
+            f32::MIN_POSITIVE / 8.0,
+            1.0 + f32::EPSILON,
+            3.4028235e38f32,
+            -1.1754944e-38f32,
+            1.0 / 3.0,
+        ];
+        let j = Json::from_f32s(values);
+        let back = round_trip(&j).to_f32s().unwrap();
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn f64_shortest_display_round_trips() {
+        let mut rng = crate::rng::Rng::seed_from_u64(0);
+        for _ in 0..2000 {
+            let v = f64::from_bits(rng.next_u64());
+            if !v.is_finite() {
+                continue;
+            }
+            let s = Json::Num(v).to_string();
+            let back = Json::parse(&s).unwrap().as_f64().unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{v} via '{s}'");
+        }
+    }
+
+    #[test]
+    fn objects_preserve_order_and_nest() {
+        let j = Json::Obj(vec![
+            ("z".into(), Json::Num(1.0)),
+            ("a".into(), Json::Arr(vec![Json::Null, Json::Bool(true)])),
+            ("nested".into(), Json::Obj(vec![("k".into(), Json::Str("v".into()))])),
+        ]);
+        let s = j.to_string();
+        assert_eq!(s, r#"{"z":1,"a":[null,true],"nested":{"k":"v"}}"#);
+        assert_eq!(round_trip(&j), j);
+    }
+
+    #[test]
+    fn accessors() {
+        let j = Json::parse(r#"{"n": 3, "s": "x", "b": false, "a": [1.5, 2]}"#).unwrap();
+        assert_eq!(j.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(j.get("n").unwrap().as_usize(), Some(3));
+        assert_eq!(j.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(j.get("b").unwrap().as_bool(), Some(false));
+        assert_eq!(j.get("a").unwrap().to_f32s().unwrap(), vec![1.5, 2.0]);
+        assert!(j.get("missing").is_none());
+        assert!(j.get("s").unwrap().as_f64().is_none());
+    }
+
+    #[test]
+    fn whitespace_and_escapes_parse() {
+        let j = Json::parse(" \n\t{ \"k\" : [ 1 , -2.5e-3, \"\\u0041\\u00e9\\ud83c\\udf89\" ] } ").unwrap();
+        let arr = j.get("k").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-2.5e-3));
+        assert_eq!(arr[2].as_str(), Some("Aé🎉"));
+    }
+
+    #[test]
+    fn malformed_documents_error_with_offsets() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1.2.3", "\"unterminated", "[1] extra", "nul"] {
+            let e = Json::parse(bad).unwrap_err();
+            assert!(e.offset <= bad.len(), "{bad}: {e}");
+        }
+    }
+
+    #[test]
+    fn non_finite_serializes_as_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let s = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&s).is_err());
+    }
+}

@@ -6,16 +6,13 @@
 //! processes (e.g. train on the inductive subgraph, serve on the full
 //! graph later).
 
-use std::fs::File;
-use std::io::{BufReader, BufWriter};
 use std::path::Path;
 
 use lasagne_autograd::{ParamId, ParamStore};
 use lasagne_tensor::Tensor;
-use serde::{Deserialize, Serialize};
+use lasagne_testkit::Json;
 
 /// On-disk representation of one parameter tensor.
-#[derive(Serialize, Deserialize)]
 struct ParamRecord {
     name: String,
     rows: usize,
@@ -23,8 +20,28 @@ struct ParamRecord {
     data: Vec<f32>,
 }
 
+impl ParamRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("rows".into(), Json::Num(self.rows as f64)),
+            ("cols".into(), Json::Num(self.cols as f64)),
+            ("data".into(), Json::from_f32s(self.data.iter().copied())),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<ParamRecord, String> {
+        let field = |k: &str| j.get(k).ok_or_else(|| format!("missing field '{k}'"));
+        Ok(ParamRecord {
+            name: field("name")?.as_str().ok_or("'name' not a string")?.to_string(),
+            rows: field("rows")?.as_usize().ok_or("'rows' not an integer")?,
+            cols: field("cols")?.as_usize().ok_or("'cols' not an integer")?,
+            data: field("data")?.to_f32s().ok_or("'data' not a number array")?,
+        })
+    }
+}
+
 /// On-disk representation of a whole store.
-#[derive(Serialize, Deserialize)]
 struct Checkpoint {
     format_version: u32,
     params: Vec<ParamRecord>,
@@ -33,7 +50,7 @@ struct Checkpoint {
 /// Errors raised by checkpoint IO.
 #[derive(Debug)]
 pub enum CheckpointError {
-    /// Filesystem / serde failure.
+    /// Filesystem / JSON failure.
     Io(String),
     /// The checkpoint does not match the model (names, counts or shapes).
     Mismatch(String),
@@ -65,18 +82,34 @@ pub fn save_params(store: &ParamStore, path: &Path) -> Result<(), CheckpointErro
         })
         .collect();
     let ckpt = Checkpoint { format_version: 1, params };
-    let file = File::create(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
-    serde_json::to_writer(BufWriter::new(file), &ckpt)
-        .map_err(|e| CheckpointError::Io(e.to_string()))
+    let doc = Json::Obj(vec![
+        ("format_version".into(), Json::Num(ckpt.format_version as f64)),
+        ("params".into(), Json::Arr(ckpt.params.iter().map(ParamRecord::to_json).collect())),
+    ]);
+    std::fs::write(path, doc.to_string()).map_err(|e| CheckpointError::Io(e.to_string()))
 }
 
 /// Load a checkpoint written by [`save_params`] into `store`. The store
 /// must already contain parameters with identical names and shapes (i.e.
 /// build the model with the same configuration first).
 pub fn load_params(store: &mut ParamStore, path: &Path) -> Result<(), CheckpointError> {
-    let file = File::open(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
-    let ckpt: Checkpoint = serde_json::from_reader(BufReader::new(file))
-        .map_err(|e| CheckpointError::Io(e.to_string()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    let doc = Json::parse(&text).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    let ckpt = Checkpoint {
+        format_version: doc
+            .get("format_version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| CheckpointError::Io("missing format_version".into()))?
+            as u32,
+        params: doc
+            .get("params")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| CheckpointError::Io("missing params array".into()))?
+            .iter()
+            .map(ParamRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(CheckpointError::Io)?,
+    };
     if ckpt.format_version != 1 {
         return Err(CheckpointError::Mismatch(format!(
             "unsupported format version {}",

@@ -1,12 +1,12 @@
 //! Multi-seed experiment runner: the paper runs "each method 10 times and
 //! reports the mean accuracy and the standard deviation".
 
-use serde::Serialize;
+use lasagne_testkit::Json;
 
 use crate::trainer::FitResult;
 
 /// Aggregate of repeated seeded runs.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SeedSummary {
     /// Test accuracies (fraction in `[0,1]`), one per seed.
     pub accs: Vec<f64>,
@@ -29,6 +29,17 @@ impl SeedSummary {
     /// Mean accuracy in percent.
     pub fn mean_pct(&self) -> f64 {
         100.0 * self.mean
+    }
+
+    /// JSON form (for result files the bench binaries emit).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("accs".into(), Json::Arr(self.accs.iter().map(|&a| Json::Num(a)).collect())),
+            ("mean".into(), Json::Num(self.mean)),
+            ("std".into(), Json::Num(self.std)),
+            ("mean_epoch_seconds".into(), Json::Num(self.mean_epoch_seconds)),
+            ("mean_epochs".into(), Json::Num(self.mean_epochs)),
+        ])
     }
 }
 

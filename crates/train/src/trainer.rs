@@ -9,7 +9,7 @@ use lasagne_datasets::Split;
 use lasagne_gnn::sampling::BatchStrategy;
 use lasagne_gnn::{GraphContext, Hyper, Mode, NodeClassifier};
 use lasagne_tensor::{Tensor, TensorRng};
-use serde::Serialize;
+use lasagne_testkit::Json;
 
 use crate::metrics::accuracy;
 
@@ -54,7 +54,7 @@ impl TrainConfig {
 }
 
 /// One epoch of the training history.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct EpochStats {
     /// Epoch index (0-based).
     pub epoch: usize,
@@ -67,8 +67,23 @@ pub struct EpochStats {
     pub train_seconds: f64,
 }
 
+impl EpochStats {
+    /// JSON form (for result files the bench binaries emit).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("epoch".into(), Json::Num(self.epoch as f64)),
+            ("loss".into(), Json::Num(self.loss as f64)),
+            (
+                "val_acc".into(),
+                self.val_acc.map_or(Json::Null, Json::Num),
+            ),
+            ("train_seconds".into(), Json::Num(self.train_seconds)),
+        ])
+    }
+}
+
 /// Outcome of one training run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct FitResult {
     /// Best validation accuracy seen.
     pub best_val_acc: f64,
@@ -80,6 +95,22 @@ pub struct FitResult {
     pub mean_epoch_seconds: f64,
     /// Full history.
     pub history: Vec<EpochStats>,
+}
+
+impl FitResult {
+    /// JSON form (for result files the bench binaries emit).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("best_val_acc".into(), Json::Num(self.best_val_acc)),
+            ("test_acc".into(), Json::Num(self.test_acc)),
+            ("epochs".into(), Json::Num(self.epochs as f64)),
+            ("mean_epoch_seconds".into(), Json::Num(self.mean_epoch_seconds)),
+            (
+                "history".into(),
+                Json::Arr(self.history.iter().map(EpochStats::to_json).collect()),
+            ),
+        ])
+    }
 }
 
 /// Deterministic evaluation forward: logits on `ctx`.

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Tier-1 verification, runnable on a machine with no network and no
+# vendored registry: the workspace has zero crates.io dependencies, so
+# --offline must always succeed from a bare checkout.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "verify: OK"
