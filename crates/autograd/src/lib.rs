@@ -51,7 +51,7 @@ mod schedule;
 mod tape;
 
 pub use gradcheck::{grad_check, GradCheckReport};
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, AdamState, Optimizer, Sgd};
 pub use schedule::{clip_grad_norm, ConstantLr, LinearWarmup, LrSchedule, StepDecay};
 pub use params::{ParamId, ParamStore};
 pub use tape::{NodeId, Tape};

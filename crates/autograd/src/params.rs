@@ -76,6 +76,12 @@ impl ParamStore {
         &self.grads[id.0]
     }
 
+    /// Mutable gradient buffer (in-place clipping, fault injection in
+    /// robustness tests).
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.grads[id.0]
+    }
+
     /// Accumulate `delta` into the gradient buffer of `id`.
     pub fn accumulate_grad(&mut self, id: ParamId, delta: &Tensor) {
         self.grads[id.0].add_assign(delta);
@@ -128,6 +134,28 @@ impl ParamStore {
         }
     }
 
+    /// True if any accumulated gradient contains NaN/±Inf. Early-exits on
+    /// the first poisoned tensor — the divergence guardrail calls this every
+    /// optimization step, so the all-finite fast path matters.
+    pub fn grads_non_finite(&self) -> bool {
+        self.grads.iter().any(Tensor::has_non_finite)
+    }
+
+    /// True if any parameter value contains NaN/±Inf (a blown-up update).
+    pub fn values_non_finite(&self) -> bool {
+        self.values.iter().any(Tensor::has_non_finite)
+    }
+
+    /// Global L2 norm of all gradients taken together (the quantity
+    /// [`crate::clip_grad_norm`] bounds).
+    pub fn grad_global_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .map(|g| g.as_slice().iter().map(|v| v * v).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
     /// Look up a parameter by its registered name.
     pub fn find(&self, name: &str) -> Option<ParamId> {
         self.names.iter().position(|n| n == name).map(ParamId)
@@ -175,6 +203,30 @@ mod tests {
         assert_eq!(s.grad(a), &Tensor::full(2, 2, 0.75));
         s.zero_grads();
         assert_eq!(s.grad(a), &Tensor::zeros(2, 2));
+    }
+
+    #[test]
+    fn non_finite_detection_covers_grads_and_values() {
+        let mut s = ParamStore::new();
+        let a = s.add("w", Tensor::ones(2, 2));
+        assert!(!s.grads_non_finite());
+        assert!(!s.values_non_finite());
+        s.grad_mut(a).set(1, 1, f32::NAN);
+        assert!(s.grads_non_finite());
+        s.zero_grads();
+        assert!(!s.grads_non_finite());
+        s.value_mut(a).set(0, 0, f32::INFINITY);
+        assert!(s.values_non_finite());
+    }
+
+    #[test]
+    fn grad_global_norm_spans_params() {
+        let mut s = ParamStore::new();
+        let a = s.add("a", Tensor::zeros(1, 1));
+        let b = s.add("b", Tensor::zeros(1, 1));
+        s.accumulate_grad(a, &Tensor::full(1, 1, 3.0));
+        s.accumulate_grad(b, &Tensor::full(1, 1, 4.0));
+        assert!((s.grad_global_norm() - 5.0).abs() < 1e-6);
     }
 
     #[test]

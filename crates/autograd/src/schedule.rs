@@ -8,19 +8,11 @@ use crate::{Optimizer, ParamId, ParamStore};
 /// before clipping. No-op (returning the norm) when already within bounds.
 pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) -> f32 {
     assert!(max_norm > 0.0, "clip_grad_norm: max_norm must be positive");
-    let mut total_sq = 0.0f32;
-    for i in 0..store.len() {
-        let g = store.grad(ParamId::from_index(i));
-        total_sq += g.as_slice().iter().map(|v| v * v).sum::<f32>();
-    }
-    let norm = total_sq.sqrt();
-    if norm > max_norm && norm > 0.0 {
+    let norm = store.grad_global_norm();
+    if norm > max_norm {
         let scale = max_norm / norm;
         for i in 0..store.len() {
-            let id = ParamId::from_index(i);
-            // Scale in place through the accumulate path: grad ← grad·scale.
-            let scaled = store.grad(id).scale(scale - 1.0);
-            store.accumulate_grad(id, &scaled);
+            store.grad_mut(ParamId::from_index(i)).scale_assign(scale);
         }
     }
     norm

@@ -28,6 +28,18 @@ impl TensorRng {
         TensorRng { rng: self.rng.fork() }
     }
 
+    /// The raw generator state, for crash-safe training checkpoints: a
+    /// resumed run restores this and replays the exact random stream the
+    /// uninterrupted run would have consumed.
+    pub fn state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuild from a [`TensorRng::state`] snapshot.
+    pub fn from_state(state: [u64; 4]) -> TensorRng {
+        TensorRng { rng: Rng::from_state(state) }
+    }
+
     /// Uniform sample in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
         self.rng.range_f32(lo, hi)
@@ -109,6 +121,17 @@ mod tests {
         assert_eq!(
             a.uniform_tensor(3, 3, -1.0, 1.0),
             b.uniform_tensor(3, 3, -1.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn state_snapshot_resumes_the_stream() {
+        let mut a = TensorRng::seed_from_u64(42);
+        let _ = a.uniform_tensor(4, 4, -1.0, 1.0); // advance mid-stream
+        let mut b = TensorRng::from_state(a.state());
+        assert_eq!(
+            a.normal_tensor(3, 3, 0.0, 1.0),
+            b.normal_tensor(3, 3, 0.0, 1.0)
         );
     }
 

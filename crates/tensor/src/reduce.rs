@@ -90,6 +90,23 @@ impl Tensor {
         self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
     }
 
+    /// True if any element is NaN or ±Inf.
+    ///
+    /// Divergence guardrails call this once per optimization step on every
+    /// gradient, so the scan must cost less than a full `is_finite` pass in
+    /// the overwhelmingly common all-finite case: each 64-element chunk is
+    /// folded through `v * 0.0` (exactly `±0.0` for finite `v`, NaN for
+    /// NaN/±Inf), which auto-vectorizes, and the scan exits on the first
+    /// poisoned chunk.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.chunks(64).any(|chunk| {
+            // NaN != 0.0 is true, ±0.0 != 0.0 is false — one compare covers
+            // both the clean and the poisoned outcome.
+            let probe: f32 = chunk.iter().map(|&v| v * 0.0).sum();
+            probe != 0.0
+        })
+    }
+
     /// Squared L2 norm of each row, as an `N x 1` column vector.
     pub fn row_sq_norms(&self) -> Tensor {
         let data = (0..self.rows)
@@ -138,6 +155,26 @@ mod tests {
         let t = Tensor::from_rows(&[&[3.0, 4.0]]);
         assert_eq!(t.frobenius_norm(), 5.0);
         assert_eq!(t.row_sq_norms().get(0, 0), 25.0);
+    }
+
+    #[test]
+    fn has_non_finite_finds_poison_anywhere() {
+        let mut t = Tensor::zeros(3, 100);
+        assert!(!t.has_non_finite());
+        for (i, bad) in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY].iter().enumerate() {
+            let mut u = t.clone();
+            // Place the poison off the chunk boundary in each case.
+            u.set(i, 63 + i, *bad);
+            assert!(u.has_non_finite(), "case {i} missed {bad}");
+        }
+        // Large-but-finite values (whose chunk sum could overflow naïvely)
+        // must not false-positive: v * 0.0 is exactly 0.0 for any finite v.
+        t.fill(f32::MAX);
+        assert!(!t.has_non_finite());
+        // Negative zeros fold to -0.0 == 0.0.
+        t.fill(-0.0);
+        assert!(!t.has_non_finite());
+        assert!(!Tensor::zeros(0, 0).has_non_finite());
     }
 
     #[test]

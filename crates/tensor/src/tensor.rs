@@ -290,11 +290,6 @@ impl Tensor {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max)
     }
-
-    /// True when any element is NaN or infinite.
-    pub fn has_non_finite(&self) -> bool {
-        self.data.iter().any(|v| !v.is_finite())
-    }
 }
 
 impl fmt::Debug for Tensor {

@@ -1,0 +1,174 @@
+//! Deterministic fault injection for robustness tests.
+//!
+//! A [`FaultPlan`] is a declarative schedule of failures a test wants the
+//! training stack to survive: poison a gradient at a chosen optimization
+//! step, or simulate an abrupt process death at the top of a chosen epoch.
+//! The plan is plain data — the trainer queries it at the matching points
+//! of its loop — so the same plan replayed against the same seed produces
+//! the same failure, every time.
+//!
+//! File-corruption helpers ([`flip_byte`], [`truncate_file`]) mutate saved
+//! checkpoints on disk the way real crashes and bit rot do, driven by the
+//! testkit PRNG so a failing case is reproducible from its seed.
+
+use std::io;
+use std::path::Path;
+
+use crate::rng::Rng;
+
+/// One scheduled failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Overwrite one gradient entry with NaN after the backward pass of the
+    /// given *global* optimization step (counting every attempt, including
+    /// retries, from 0).
+    GradNan {
+        /// Global step index at which the NaN appears.
+        step: usize,
+    },
+    /// Simulate the process dying at the *top* of the given epoch: the
+    /// trainer returns a `Crashed` error before doing any work for that
+    /// epoch, exactly as if it had been SIGKILLed between epochs.
+    CrashAtEpoch {
+        /// Epoch index whose start is never reached.
+        epoch: usize,
+    },
+}
+
+/// A schedule of [`Fault`]s for one training run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Empty plan (injects nothing).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Add a NaN-gradient injection at global step `step`.
+    pub fn with_grad_nan_at(mut self, step: usize) -> FaultPlan {
+        self.faults.push(Fault::GradNan { step });
+        self
+    }
+
+    /// Add a simulated crash at the top of `epoch`.
+    pub fn with_crash_at_epoch(mut self, epoch: usize) -> FaultPlan {
+        self.faults.push(Fault::CrashAtEpoch { epoch });
+        self
+    }
+
+    /// A randomized single-fault plan: with equal probability a NaN
+    /// gradient at a uniform step in `[0, max_steps)` or a crash at a
+    /// uniform epoch in `[0, max_epochs)`. Deterministic in `rng`.
+    pub fn random(rng: &mut Rng, max_steps: usize, max_epochs: usize) -> FaultPlan {
+        assert!(max_steps > 0 && max_epochs > 0, "FaultPlan::random: empty range");
+        if rng.bernoulli(0.5) {
+            FaultPlan::none().with_grad_nan_at(rng.index(max_steps))
+        } else {
+            FaultPlan::none().with_crash_at_epoch(rng.index(max_epochs))
+        }
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Should a NaN be injected into the gradients of global step `step`?
+    pub fn grad_nan_at(&self, step: usize) -> bool {
+        self.faults.iter().any(|f| matches!(f, Fault::GradNan { step: s } if *s == step))
+    }
+
+    /// Should the process "die" at the top of `epoch`?
+    pub fn crash_at(&self, epoch: usize) -> bool {
+        self.faults.iter().any(|f| matches!(f, Fault::CrashAtEpoch { epoch: e } if *e == epoch))
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+}
+
+/// Flip one random byte of the file at `path` (XOR with a random non-zero
+/// mask at a PRNG-chosen offset) and return `(offset, old, new)`. Models a
+/// single-bit-rot / torn-write corruption of a checkpoint.
+pub fn flip_byte(path: &Path, rng: &mut Rng) -> io::Result<(usize, u8, u8)> {
+    let mut bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "flip_byte: empty file"));
+    }
+    let offset = rng.index(bytes.len());
+    let mask = 1u8 << rng.index(8);
+    let old = bytes[offset];
+    bytes[offset] ^= mask;
+    let new = bytes[offset];
+    std::fs::write(path, &bytes)?;
+    Ok((offset, old, new))
+}
+
+/// Truncate the file at `path` to `fraction` of its length (a torn write:
+/// the process died mid-`write`). `fraction` is clamped to `[0, 1]`.
+pub fn truncate_file(path: &Path, fraction: f64) -> io::Result<u64> {
+    let len = std::fs::metadata(path)?.len();
+    let keep = ((len as f64) * fraction.clamp(0.0, 1.0)) as u64;
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(keep)?;
+    Ok(keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("lasagne-fault-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn plan_queries_match_schedule() {
+        let p = FaultPlan::none().with_grad_nan_at(3).with_crash_at_epoch(5);
+        assert!(p.grad_nan_at(3) && !p.grad_nan_at(2) && !p.grad_nan_at(4));
+        assert!(p.crash_at(5) && !p.crash_at(3));
+        assert_eq!(p.faults().len(), 2);
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_in_the_seed() {
+        let a = FaultPlan::random(&mut Rng::seed_from_u64(9), 40, 20);
+        let b = FaultPlan::random(&mut Rng::seed_from_u64(9), 40, 20);
+        assert_eq!(a, b);
+        assert_eq!(a.faults().len(), 1);
+    }
+
+    #[test]
+    fn flip_byte_changes_exactly_one_byte() {
+        let path = temp("flip");
+        std::fs::write(&path, b"hello checkpoint").unwrap();
+        let (off, old, new) = flip_byte(&path, &mut Rng::seed_from_u64(1)).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_ne!(old, new);
+        assert_eq!(bytes[off], new);
+        assert_eq!(bytes.len(), 16);
+        let diff = b"hello checkpoint"
+            .iter()
+            .zip(&bytes)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(diff, 1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn truncate_keeps_prefix() {
+        let path = temp("trunc");
+        std::fs::write(&path, vec![7u8; 100]).unwrap();
+        let kept = truncate_file(&path, 0.3).unwrap();
+        assert_eq!(kept, 30);
+        assert_eq!(std::fs::read(&path).unwrap().len(), 30);
+        let _ = std::fs::remove_file(path);
+    }
+}

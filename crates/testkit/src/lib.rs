@@ -22,18 +22,23 @@
 //! * [`bench`] — a wall-clock micro-bench timer (median of N samples with
 //!   warmup) replacing `criterion`; the `lasagne-bench` bench targets are
 //!   plain `harness = false` binaries built on it.
+//! * [`fault`] — deterministic fault injection for robustness tests: a
+//!   [`FaultPlan`] schedules NaN gradients and simulated crashes, and the
+//!   file helpers corrupt/truncate saved checkpoints reproducibly.
 //!
 //! The crate intentionally has **no** dependencies, not even on other
 //! workspace crates, so every crate (including `lasagne-tensor` at the
 //! bottom of the stack) can depend on it.
 
 pub mod bench;
+pub mod fault;
 pub mod gens;
 pub mod json;
 pub mod prop;
 pub mod rng;
 
 pub use bench::{bench, bench_with, BenchResult};
+pub use fault::{flip_byte, truncate_file, Fault, FaultPlan};
 pub use gens::{coo_graph, dense, sym_adj, vec_of, CooGraph, Dense, OneOf, VecGen};
 pub use json::{Json, JsonError};
 pub use prop::{check, Config, Gen, Just};

@@ -1,157 +1,454 @@
-//! Model checkpointing: serialize a [`ParamStore`]'s values to JSON and
-//! load them back into a freshly-constructed model of the same shape.
+//! Crash-safe model checkpointing.
 //!
-//! The training loop already snapshots in memory for early stopping; this
-//! module is for *persistence* — train once, reuse the weights across
-//! processes (e.g. train on the inductive subgraph, serve on the full
-//! graph later).
+//! Format **v2** (see DESIGN.md §7): every checkpoint is a JSON document
+//!
+//! ```json
+//! {"format_version":2,"checksum":"<fnv1a64 hex>","body":{...}}
+//! ```
+//!
+//! where `checksum` is the FNV-1a 64-bit hash of the serialized `body`.
+//! The workspace JSON codec is byte-deterministic and exactly round-trips
+//! every `f64`, so the loader re-serializes the parsed body and compares
+//! hashes: any torn write or bit flip is detected as [`TrainError::Corrupt`]
+//! before a single weight is loaded. Writes go to a temp file first and are
+//! published with an atomic `rename`, and train-state saves rotate the
+//! previous file to a `.prev` generation so a corrupted latest checkpoint
+//! still leaves a loadable one behind.
+//!
+//! Two kinds of body are written:
+//!
+//! * `"kind":"params"` — just the weights ([`save_params`]/[`load_params`]),
+//!   for train-once/serve-later. Legacy v1 files (no checksum) still load.
+//! * `"kind":"train_state"` — weights **plus** Adam moments, epoch/patience
+//!   counters, the current (possibly recovery-halved) learning rate, the
+//!   PRNG state and the epoch history ([`save_train_state`]/
+//!   [`load_train_state`]), so `fit` can resume bit-identically after a
+//!   kill ([`crate::fit_with_options`]).
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use lasagne_autograd::{ParamId, ParamStore};
+use lasagne_autograd::{AdamState, ParamId, ParamStore};
 use lasagne_tensor::Tensor;
 use lasagne_testkit::Json;
 
-/// On-disk representation of one parameter tensor.
-struct ParamRecord {
-    name: String,
-    rows: usize,
-    cols: usize,
-    data: Vec<f32>,
-}
+use crate::error::{TrainError, TrainResult};
+use crate::trainer::EpochStats;
 
-impl ParamRecord {
-    fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("name".into(), Json::Str(self.name.clone())),
-            ("rows".into(), Json::Num(self.rows as f64)),
-            ("cols".into(), Json::Num(self.cols as f64)),
-            ("data".into(), Json::from_f32s(self.data.iter().copied())),
-        ])
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// FNV-1a 64-bit hash — the checkpoint content checksum. Not cryptographic;
+/// it detects the accidental corruption (torn writes, bit rot) that kills
+/// multi-hour sweeps.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-
-    fn from_json(j: &Json) -> Result<ParamRecord, String> {
-        let field = |k: &str| j.get(k).ok_or_else(|| format!("missing field '{k}'"));
-        Ok(ParamRecord {
-            name: field("name")?.as_str().ok_or("'name' not a string")?.to_string(),
-            rows: field("rows")?.as_usize().ok_or("'rows' not an integer")?,
-            cols: field("cols")?.as_usize().ok_or("'cols' not an integer")?,
-            data: field("data")?.to_f32s().ok_or("'data' not a number array")?,
-        })
-    }
+    h
 }
 
-/// On-disk representation of a whole store.
-struct Checkpoint {
-    format_version: u32,
-    params: Vec<ParamRecord>,
+fn io_err(path: &Path, e: impl std::fmt::Display) -> TrainError {
+    TrainError::Io(format!("{}: {e}", path.display()))
 }
 
-/// Errors raised by checkpoint IO.
-#[derive(Debug)]
-pub enum CheckpointError {
-    /// Filesystem / JSON failure.
-    Io(String),
-    /// The checkpoint does not match the model (names, counts or shapes).
-    Mismatch(String),
-}
-
-impl std::fmt::Display for CheckpointError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
-            CheckpointError::Mismatch(e) => write!(f, "checkpoint mismatch: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for CheckpointError {}
-
-/// Write every parameter of `store` to `path` as JSON.
-pub fn save_params(store: &ParamStore, path: &Path) -> Result<(), CheckpointError> {
-    let params = (0..store.len())
-        .map(|i| {
-            let id = ParamId::from_index(i);
-            let t = store.value(id);
-            ParamRecord {
-                name: store.name(id).to_string(),
-                rows: t.rows(),
-                cols: t.cols(),
-                data: t.as_slice().to_vec(),
-            }
-        })
-        .collect();
-    let ckpt = Checkpoint { format_version: 1, params };
+/// Serialize `body` under a checksum envelope and publish it atomically:
+/// write to `<path>.tmp`, then `rename` over `path` (a crash mid-write
+/// leaves the old file intact, never a half-written new one).
+fn atomic_write_envelope(path: &Path, body: Json) -> TrainResult<()> {
+    let body_text = body.to_string();
     let doc = Json::Obj(vec![
-        ("format_version".into(), Json::Num(ckpt.format_version as f64)),
-        ("params".into(), Json::Arr(ckpt.params.iter().map(ParamRecord::to_json).collect())),
+        ("format_version".into(), Json::Num(FORMAT_VERSION as f64)),
+        ("checksum".into(), Json::Str(format!("{:016x}", fnv1a64(body_text.as_bytes())))),
+        ("body".into(), body),
     ]);
-    std::fs::write(path, doc.to_string()).map_err(|e| CheckpointError::Io(e.to_string()))
+    let tmp = sibling(path, "tmp");
+    std::fs::write(&tmp, doc.to_string()).map_err(|e| io_err(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
 }
 
-/// Load a checkpoint written by [`save_params`] into `store`. The store
-/// must already contain parameters with identical names and shapes (i.e.
-/// build the model with the same configuration first).
-pub fn load_params(store: &mut ParamStore, path: &Path) -> Result<(), CheckpointError> {
-    let text = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
-    let doc = Json::parse(&text).map_err(|e| CheckpointError::Io(e.to_string()))?;
-    let ckpt = Checkpoint {
-        format_version: doc
-            .get("format_version")
-            .and_then(Json::as_u64)
-            .ok_or_else(|| CheckpointError::Io("missing format_version".into()))?
-            as u32,
-        params: doc
-            .get("params")
-            .and_then(Json::as_arr)
-            .ok_or_else(|| CheckpointError::Io("missing params array".into()))?
-            .iter()
-            .map(ParamRecord::from_json)
-            .collect::<Result<Vec<_>, _>>()
-            .map_err(CheckpointError::Io)?,
-    };
-    if ckpt.format_version != 1 {
-        return Err(CheckpointError::Mismatch(format!(
-            "unsupported format version {}",
-            ckpt.format_version
-        )));
+/// `<path>.<suffix>` alongside the checkpoint (keeps the original extension,
+/// so generations of `ckpt.json` are `ckpt.json.prev` / `ckpt.json.tmp`).
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".");
+    name.push(suffix);
+    PathBuf::from(name)
+}
+
+/// The previous-generation path used by [`save_train_state`]'s rotation.
+pub fn previous_generation(path: &Path) -> PathBuf {
+    sibling(path, "prev")
+}
+
+/// Read `path`, verify the checksum envelope, and return the body. Accepts
+/// legacy v1 documents (no checksum) for params-only checkpoints.
+fn read_envelope(path: &Path) -> TrainResult<Json> {
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    let doc = Json::parse(&text).map_err(|e| TrainError::Parse(format!("{}: {e}", path.display())))?;
+    let version = doc
+        .get("format_version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| TrainError::Parse("missing format_version".into()))? as u32;
+    match version {
+        1 => Ok(doc), // v1: the document itself is the body, no checksum.
+        2 => {
+            let stored = doc
+                .get("checksum")
+                .and_then(Json::as_str)
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or_else(|| TrainError::Parse("missing or malformed checksum".into()))?;
+            let body = doc
+                .get("body")
+                .ok_or_else(|| TrainError::Parse("missing body".into()))?;
+            let actual = fnv1a64(body.to_string().as_bytes());
+            if actual != stored {
+                return Err(TrainError::Corrupt(format!(
+                    "{}: checksum {actual:016x} != stored {stored:016x}",
+                    path.display()
+                )));
+            }
+            Ok(body.clone())
+        }
+        v => Err(TrainError::Mismatch(format!("unsupported format version {v}"))),
     }
-    if ckpt.params.len() != store.len() {
-        return Err(CheckpointError::Mismatch(format!(
+}
+
+// ---------------------------------------------------------------------------
+// Tensor / param (de)serialization helpers
+// ---------------------------------------------------------------------------
+
+fn tensor_to_json(t: &Tensor) -> Json {
+    Json::Obj(vec![
+        ("rows".into(), Json::Num(t.rows() as f64)),
+        ("cols".into(), Json::Num(t.cols() as f64)),
+        ("data".into(), Json::from_f32s(t.as_slice().iter().copied())),
+    ])
+}
+
+fn tensor_from_json(j: &Json) -> TrainResult<Tensor> {
+    let field = |k: &str| {
+        j.get(k).ok_or_else(|| TrainError::Parse(format!("tensor missing field '{k}'")))
+    };
+    let rows = field("rows")?.as_usize().ok_or_else(|| TrainError::Parse("'rows' not an integer".into()))?;
+    let cols = field("cols")?.as_usize().ok_or_else(|| TrainError::Parse("'cols' not an integer".into()))?;
+    let data = field("data")?.to_f32s().ok_or_else(|| TrainError::Parse("'data' not a number array".into()))?;
+    Tensor::from_vec(rows, cols, data).map_err(|e| TrainError::Parse(e.to_string()))
+}
+
+fn named_param_to_json(name: &str, t: &Tensor) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(name.to_string())),
+        ("rows".into(), Json::Num(t.rows() as f64)),
+        ("cols".into(), Json::Num(t.cols() as f64)),
+        ("data".into(), Json::from_f32s(t.as_slice().iter().copied())),
+    ])
+}
+
+fn named_param_from_json(j: &Json) -> TrainResult<(String, Tensor)> {
+    let name = j
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| TrainError::Parse("param missing 'name'".into()))?
+        .to_string();
+    Ok((name, tensor_from_json(j)?))
+}
+
+fn store_params_to_json(store: &ParamStore) -> Json {
+    Json::Arr(
+        (0..store.len())
+            .map(|i| {
+                let id = ParamId::from_index(i);
+                named_param_to_json(store.name(id), store.value(id))
+            })
+            .collect(),
+    )
+}
+
+/// Validate names/counts/shapes and copy `params` into `store`.
+fn apply_params(store: &mut ParamStore, params: &[(String, Tensor)]) -> TrainResult<()> {
+    if params.len() != store.len() {
+        return Err(TrainError::Mismatch(format!(
             "checkpoint has {} params, model has {}",
-            ckpt.params.len(),
+            params.len(),
             store.len()
         )));
     }
-    for (i, rec) in ckpt.params.iter().enumerate() {
+    for (i, (name, tensor)) in params.iter().enumerate() {
         let id = ParamId::from_index(i);
-        if store.name(id) != rec.name {
-            return Err(CheckpointError::Mismatch(format!(
-                "param {i} is '{}' in the checkpoint but '{}' in the model",
-                rec.name,
+        if store.name(id) != name {
+            return Err(TrainError::Mismatch(format!(
+                "param {i} is '{name}' in the checkpoint but '{}' in the model",
                 store.name(id)
             )));
         }
-        if store.value(id).shape() != (rec.rows, rec.cols) {
-            return Err(CheckpointError::Mismatch(format!(
-                "param '{}' is {}x{} in the checkpoint but {:?} in the model",
-                rec.name,
-                rec.rows,
-                rec.cols,
+        if store.value(id).shape() != tensor.shape() {
+            return Err(TrainError::Mismatch(format!(
+                "param '{name}' is {:?} in the checkpoint but {:?} in the model",
+                tensor.shape(),
                 store.value(id).shape()
             )));
         }
-        let t = Tensor::from_vec(rec.rows, rec.cols, rec.data.clone())
-            .map_err(|e| CheckpointError::Mismatch(e.to_string()))?;
-        *store.value_mut(id) = t;
+    }
+    for (i, (_, tensor)) in params.iter().enumerate() {
+        *store.value_mut(ParamId::from_index(i)) = tensor.clone();
     }
     Ok(())
+}
+
+fn params_array_from_json(j: &Json) -> TrainResult<Vec<(String, Tensor)>> {
+    j.as_arr()
+        .ok_or_else(|| TrainError::Parse("'params' not an array".into()))?
+        .iter()
+        .map(named_param_from_json)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Params-only checkpoints
+// ---------------------------------------------------------------------------
+
+/// Write every parameter of `store` to `path` (format v2: checksummed,
+/// atomically published).
+pub fn save_params(store: &ParamStore, path: &Path) -> TrainResult<()> {
+    let body = Json::Obj(vec![
+        ("kind".into(), Json::Str("params".into())),
+        ("params".into(), store_params_to_json(store)),
+    ]);
+    atomic_write_envelope(path, body)
+}
+
+/// Load a checkpoint written by [`save_params`] (or a legacy v1 file) into
+/// `store`. The store must already contain parameters with identical names
+/// and shapes (i.e. build the model with the same configuration first).
+/// Also accepts a `train_state` checkpoint, loading just its weights.
+pub fn load_params(store: &mut ParamStore, path: &Path) -> TrainResult<()> {
+    let body = read_envelope(path)?;
+    let params = body
+        .get("params")
+        .ok_or_else(|| TrainError::Parse("missing params array".into()))?;
+    apply_params(store, &params_array_from_json(params)?)
+}
+
+// ---------------------------------------------------------------------------
+// Full train-state checkpoints (crash-safe resume)
+// ---------------------------------------------------------------------------
+
+/// Everything `fit` needs to continue bit-identically after a kill: weights,
+/// the best-validation snapshot, Adam moments, progress counters, the
+/// (possibly recovery-halved) learning rate, the PRNG state, and the epoch
+/// history accumulated so far.
+#[derive(Clone, Debug)]
+pub struct TrainState {
+    /// First epoch the resumed run should execute.
+    pub next_epoch: usize,
+    /// Global optimization-step counter (counts every attempt, including
+    /// recovery retries).
+    pub step: usize,
+    /// Learning rate in effect (halved by each divergence recovery).
+    pub lr: f32,
+    /// Divergence recoveries consumed so far.
+    pub recoveries: usize,
+    /// Best validation accuracy seen.
+    pub best_val: f64,
+    /// Epochs since the best validation accuracy improved.
+    pub since_best: usize,
+    /// Accumulated optimization wall-clock seconds.
+    pub train_time_total: f64,
+    /// PRNG state at the epoch boundary.
+    pub rng: [u64; 4],
+    /// Named current weights.
+    pub params: Vec<(String, Tensor)>,
+    /// Weights at the best-validation epoch (unnamed; same order as
+    /// `params`).
+    pub best_params: Vec<Tensor>,
+    /// Adam step count and moments.
+    pub adam: AdamState,
+    /// Per-epoch history up to the checkpoint.
+    pub history: Vec<EpochStats>,
+}
+
+impl TrainState {
+    /// Validate and copy this state's current weights into `store`.
+    pub fn apply_params(&self, store: &mut ParamStore) -> TrainResult<()> {
+        apply_params(store, &self.params)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str("train_state".into())),
+            (
+                "progress".into(),
+                Json::Obj(vec![
+                    ("next_epoch".into(), Json::Num(self.next_epoch as f64)),
+                    ("step".into(), Json::Num(self.step as f64)),
+                    ("lr".into(), Json::Num(self.lr as f64)),
+                    ("recoveries".into(), Json::Num(self.recoveries as f64)),
+                    // f64 bits as hex: exact even for -inf (no eval yet).
+                    ("best_val_bits".into(), Json::Str(format!("{:016x}", self.best_val.to_bits()))),
+                    ("since_best".into(), Json::Num(self.since_best as f64)),
+                    ("train_time_total".into(), Json::Num(self.train_time_total)),
+                ]),
+            ),
+            (
+                "rng".into(),
+                Json::Arr(self.rng.iter().map(|w| Json::Str(format!("{w:016x}"))).collect()),
+            ),
+            (
+                "params".into(),
+                Json::Arr(
+                    self.params
+                        .iter()
+                        .map(|(n, t)| named_param_to_json(n, t))
+                        .collect(),
+                ),
+            ),
+            (
+                "best_params".into(),
+                Json::Arr(self.best_params.iter().map(tensor_to_json).collect()),
+            ),
+            (
+                "adam".into(),
+                Json::Obj(vec![
+                    ("t".into(), Json::Num(self.adam.t as f64)),
+                    ("m".into(), Json::Arr(self.adam.m.iter().map(tensor_to_json).collect())),
+                    ("v".into(), Json::Arr(self.adam.v.iter().map(tensor_to_json).collect())),
+                ]),
+            ),
+            (
+                "history".into(),
+                Json::Arr(self.history.iter().map(EpochStats::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(body: &Json) -> TrainResult<TrainState> {
+        if body.get("kind").and_then(Json::as_str) != Some("train_state") {
+            return Err(TrainError::Mismatch(
+                "not a train_state checkpoint (kind field)".into(),
+            ));
+        }
+        let progress = body
+            .get("progress")
+            .ok_or_else(|| TrainError::Parse("missing progress".into()))?;
+        let p_usize = |k: &str| {
+            progress
+                .get(k)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| TrainError::Parse(format!("progress.{k} missing/invalid")))
+        };
+        let p_f64 = |k: &str| {
+            progress
+                .get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| TrainError::Parse(format!("progress.{k} missing/invalid")))
+        };
+        let hex_u64 = |j: Option<&Json>, what: &str| -> TrainResult<u64> {
+            j.and_then(Json::as_str)
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or_else(|| TrainError::Parse(format!("{what} missing/invalid")))
+        };
+        let rng_arr = body
+            .get("rng")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| TrainError::Parse("rng state missing".into()))?;
+        if rng_arr.len() != 4 {
+            return Err(TrainError::Parse("rng state must have 4 words".into()));
+        }
+        let mut rng = [0u64; 4];
+        for (slot, word) in rng.iter_mut().zip(rng_arr) {
+            *slot = hex_u64(Some(word), "rng word")?;
+        }
+        let tensors = |k: &str| -> TrainResult<Vec<Tensor>> {
+            body.get(k)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| TrainError::Parse(format!("{k} missing")))?
+                .iter()
+                .map(tensor_from_json)
+                .collect()
+        };
+        let adam = body.get("adam").ok_or_else(|| TrainError::Parse("adam state missing".into()))?;
+        let adam_tensors = |k: &str| -> TrainResult<Vec<Tensor>> {
+            adam.get(k)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| TrainError::Parse(format!("adam.{k} missing")))?
+                .iter()
+                .map(tensor_from_json)
+                .collect()
+        };
+        Ok(TrainState {
+            next_epoch: p_usize("next_epoch")?,
+            step: p_usize("step")?,
+            lr: p_f64("lr")? as f32,
+            recoveries: p_usize("recoveries")?,
+            best_val: f64::from_bits(hex_u64(progress.get("best_val_bits"), "best_val_bits")?),
+            since_best: p_usize("since_best")?,
+            train_time_total: p_f64("train_time_total")?,
+            rng,
+            params: params_array_from_json(
+                body.get("params")
+                    .ok_or_else(|| TrainError::Parse("params missing".into()))?,
+            )?,
+            best_params: tensors("best_params")?,
+            adam: AdamState {
+                t: adam
+                    .get("t")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| TrainError::Parse("adam.t missing".into()))?,
+                m: adam_tensors("m")?,
+                v: adam_tensors("v")?,
+            },
+            history: body
+                .get("history")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| TrainError::Parse("history missing".into()))?
+                .iter()
+                .map(EpochStats::from_json)
+                .collect::<TrainResult<Vec<_>>>()?,
+        })
+    }
+}
+
+/// Write a full train-state checkpoint, rotating any existing file at
+/// `path` to the `.prev` generation first. Even if this write is later
+/// found corrupt, [`load_train_state_with_fallback`] can still recover the
+/// previous epoch's state.
+pub fn save_train_state(state: &TrainState, path: &Path) -> TrainResult<()> {
+    if path.exists() {
+        let prev = previous_generation(path);
+        std::fs::rename(path, &prev).map_err(|e| io_err(&prev, e))?;
+    }
+    atomic_write_envelope(path, state.to_json())
+}
+
+/// Load a train-state checkpoint, verifying the checksum.
+pub fn load_train_state(path: &Path) -> TrainResult<TrainState> {
+    TrainState::from_json(&read_envelope(path)?)
+}
+
+/// Load `path`, and if it is corrupt/truncated/unparseable, fall back to
+/// the `.prev` generation. Returns the state and whether the fallback was
+/// used. A missing primary file is an error (nothing to resume), as is a
+/// corrupt primary with no healthy previous generation.
+pub fn load_train_state_with_fallback(path: &Path) -> TrainResult<(TrainState, bool)> {
+    match load_train_state(path) {
+        Ok(state) => Ok((state, false)),
+        Err(primary_err @ (TrainError::Corrupt(_) | TrainError::Parse(_))) => {
+            match load_train_state(&previous_generation(path)) {
+                Ok(state) => Ok((state, true)),
+                Err(_) => Err(primary_err),
+            }
+        }
+        Err(e) => Err(e),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use lasagne_tensor::TensorRng;
+    use lasagne_testkit::rng::Rng;
 
     fn temp_path(name: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("lasagne-ckpt-{name}-{}.json", std::process::id()))
@@ -165,54 +462,188 @@ mod tests {
         s
     }
 
+    fn sample_state(seed: u64) -> TrainState {
+        let store = sample_store(seed);
+        let adam = lasagne_autograd::Adam::new(&store, 0.01, 5e-4).state();
+        TrainState {
+            next_epoch: 7,
+            step: 9,
+            lr: 0.005,
+            recoveries: 1,
+            best_val: 0.8125,
+            since_best: 2,
+            train_time_total: 1.5,
+            rng: TensorRng::seed_from_u64(seed).state(),
+            params: (0..store.len())
+                .map(|i| {
+                    let id = ParamId::from_index(i);
+                    (store.name(id).to_string(), store.value(id).clone())
+                })
+                .collect(),
+            best_params: store.snapshot(),
+            adam,
+            history: vec![EpochStats { epoch: 0, loss: 1.25, val_acc: Some(0.5), train_seconds: 0.01 }],
+        }
+    }
+
     #[test]
-    fn round_trip_preserves_values() {
+    fn round_trip_preserves_values() -> TrainResult<()> {
         let path = temp_path("roundtrip");
         let src = sample_store(1);
-        save_params(&src, &path).unwrap();
+        save_params(&src, &path)?;
         let mut dst = sample_store(2); // same shapes, different values
         assert_ne!(
             src.value(ParamId::from_index(0)),
             dst.value(ParamId::from_index(0))
         );
-        load_params(&mut dst, &path).unwrap();
+        load_params(&mut dst, &path)?;
         for i in 0..src.len() {
             let id = ParamId::from_index(i);
             assert_eq!(src.value(id), dst.value(id));
         }
         let _ = std::fs::remove_file(path);
+        Ok(())
     }
 
     #[test]
-    fn shape_mismatch_is_rejected() {
+    fn shape_mismatch_is_rejected() -> TrainResult<()> {
         let path = temp_path("shape");
-        save_params(&sample_store(1), &path).unwrap();
+        save_params(&sample_store(1), &path)?;
         let mut rng = TensorRng::seed_from_u64(0);
         let mut wrong = ParamStore::new();
         wrong.add("w1", rng.uniform_tensor(2, 2, -1.0, 1.0));
         wrong.add("b1", rng.uniform_tensor(1, 4, -1.0, 1.0));
         let err = load_params(&mut wrong, &path).unwrap_err();
-        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        assert!(matches!(err, TrainError::Mismatch(_)), "{err}");
         let _ = std::fs::remove_file(path);
+        Ok(())
     }
 
     #[test]
-    fn name_mismatch_is_rejected() {
+    fn name_mismatch_is_rejected() -> TrainResult<()> {
         let path = temp_path("name");
-        save_params(&sample_store(1), &path).unwrap();
+        save_params(&sample_store(1), &path)?;
         let mut rng = TensorRng::seed_from_u64(0);
         let mut wrong = ParamStore::new();
         wrong.add("other", rng.uniform_tensor(3, 4, -1.0, 1.0));
         wrong.add("b1", rng.uniform_tensor(1, 4, -1.0, 1.0));
         let err = load_params(&mut wrong, &path).unwrap_err();
-        assert!(matches!(err, CheckpointError::Mismatch(_)));
+        assert!(matches!(err, TrainError::Mismatch(_)));
         let _ = std::fs::remove_file(path);
+        Ok(())
     }
 
     #[test]
     fn missing_file_is_io_error() {
         let mut s = sample_store(1);
         let err = load_params(&mut s, Path::new("/nonexistent/ckpt.json")).unwrap_err();
-        assert!(matches!(err, CheckpointError::Io(_)));
+        assert!(matches!(err, TrainError::Io(_)));
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load() -> TrainResult<()> {
+        // A v1 checkpoint has the params at the top level and no checksum.
+        let path = temp_path("v1");
+        let src = sample_store(3);
+        let doc = Json::Obj(vec![
+            ("format_version".into(), Json::Num(1.0)),
+            ("params".into(), store_params_to_json(&src)),
+        ]);
+        std::fs::write(&path, doc.to_string()).map_err(|e| io_err(&path, e))?;
+        let mut dst = sample_store(4);
+        load_params(&mut dst, &path)?;
+        assert_eq!(src.value(ParamId::from_index(0)), dst.value(ParamId::from_index(0)));
+        let _ = std::fs::remove_file(path);
+        Ok(())
+    }
+
+    #[test]
+    fn checksum_detects_a_flipped_byte() -> TrainResult<()> {
+        let path = temp_path("flip");
+        save_params(&sample_store(5), &path)?;
+        // Flip a byte inside the params payload (past the envelope header).
+        let mut bytes = std::fs::read(&path).map_err(|e| io_err(&path, e))?;
+        let target = bytes.len() / 2;
+        bytes[target] ^= 0x04;
+        std::fs::write(&path, &bytes).map_err(|e| io_err(&path, e))?;
+        let mut dst = sample_store(5);
+        let err = load_params(&mut dst, &path).unwrap_err();
+        assert!(
+            matches!(err, TrainError::Corrupt(_) | TrainError::Parse(_)),
+            "flip must be caught, got: {err}"
+        );
+        let _ = std::fs::remove_file(path);
+        Ok(())
+    }
+
+    #[test]
+    fn train_state_round_trips_exactly() -> TrainResult<()> {
+        let path = temp_path("state");
+        let state = sample_state(6);
+        save_train_state(&state, &path)?;
+        let (back, from_fallback) = load_train_state_with_fallback(&path)?;
+        assert!(!from_fallback);
+        assert_eq!(back.next_epoch, state.next_epoch);
+        assert_eq!(back.step, state.step);
+        assert_eq!(back.lr.to_bits(), state.lr.to_bits());
+        assert_eq!(back.recoveries, state.recoveries);
+        assert_eq!(back.best_val.to_bits(), state.best_val.to_bits());
+        assert_eq!(back.since_best, state.since_best);
+        assert_eq!(back.rng, state.rng);
+        assert_eq!(back.params, state.params);
+        assert_eq!(back.best_params, state.best_params);
+        assert_eq!(back.adam.t, state.adam.t);
+        assert_eq!(back.adam.m, state.adam.m);
+        assert_eq!(back.adam.v, state.adam.v);
+        assert_eq!(back.history.len(), 1);
+        assert_eq!(back.history[0].loss.to_bits(), state.history[0].loss.to_bits());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(previous_generation(&path));
+        Ok(())
+    }
+
+    #[test]
+    fn negative_infinity_best_val_survives() -> TrainResult<()> {
+        // best_val is -inf until the first evaluation; the bits-hex encoding
+        // must carry it through (plain JSON numbers cannot).
+        let path = temp_path("neginf");
+        let mut state = sample_state(7);
+        state.best_val = f64::NEG_INFINITY;
+        save_train_state(&state, &path)?;
+        let back = load_train_state(&path)?;
+        assert!(back.best_val == f64::NEG_INFINITY);
+        let _ = std::fs::remove_file(&path);
+        Ok(())
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_previous_generation() -> TrainResult<()> {
+        let path = temp_path("generations");
+        let older = sample_state(8);
+        save_train_state(&older, &path)?;
+        let mut newer = sample_state(8);
+        newer.next_epoch = 20;
+        save_train_state(&newer, &path)?; // rotates `older` to .prev
+        // Corrupt the latest file.
+        lasagne_testkit::flip_byte(&path, &mut Rng::seed_from_u64(1))
+            .map_err(|e| io_err(&path, e))?;
+        let (state, from_fallback) = load_train_state_with_fallback(&path)?;
+        assert!(from_fallback, "must report the fallback generation was used");
+        assert_eq!(state.next_epoch, older.next_epoch);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(previous_generation(&path));
+        Ok(())
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected_not_garbage() -> TrainResult<()> {
+        let path = temp_path("truncated");
+        save_train_state(&sample_state(9), &path)?;
+        lasagne_testkit::truncate_file(&path, 0.6).map_err(|e| io_err(&path, e))?;
+        let err = load_train_state(&path).unwrap_err();
+        assert!(matches!(err, TrainError::Parse(_) | TrainError::Corrupt(_)), "{err}");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(previous_generation(&path));
+        Ok(())
     }
 }

@@ -1,0 +1,78 @@
+//! The training stack's error type: every failure the harness can survive
+//! or must report — I/O, parse, model/checkpoint mismatches, corrupted
+//! checkpoints, divergence that exhausted its retries, and simulated
+//! crashes from the fault-injection harness — surfaces as a [`TrainError`]
+//! instead of a panic or silently-NaN weights.
+
+use std::fmt;
+
+/// Convenience alias for fallible training-stack operations.
+pub type TrainResult<T> = std::result::Result<T, TrainError>;
+
+/// Everything that can go wrong in the training/checkpointing stack.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrainError {
+    /// Filesystem failure (path + OS error).
+    Io(String),
+    /// A checkpoint file exists but is not valid JSON / misses fields.
+    Parse(String),
+    /// The checkpoint does not match the model (names, counts or shapes) or
+    /// uses an unsupported format version.
+    Mismatch(String),
+    /// The checkpoint's content checksum does not match its payload: the
+    /// file was truncated or bit-flipped. Never loaded into weights.
+    Corrupt(String),
+    /// Training hit NaN/Inf and the recovery policy (rollback + LR halving)
+    /// ran out of retries.
+    Diverged {
+        /// Epoch at which the final, unrecoverable divergence occurred.
+        epoch: usize,
+        /// Recovery attempts consumed before giving up.
+        recoveries: usize,
+        /// What was non-finite (loss, gradients, or parameters).
+        reason: String,
+    },
+    /// A [`lasagne_testkit::FaultPlan`] simulated process death at the top
+    /// of this epoch (tests of the resume path).
+    Crashed {
+        /// Epoch whose work never started.
+        epoch: usize,
+    },
+    /// A caller-supplied configuration or table row was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            TrainError::Parse(e) => write!(f, "checkpoint parse error: {e}"),
+            TrainError::Mismatch(e) => write!(f, "checkpoint mismatch: {e}"),
+            TrainError::Corrupt(e) => write!(f, "checkpoint corrupt: {e}"),
+            TrainError::Diverged { epoch, recoveries, reason } => write!(
+                f,
+                "training diverged at epoch {epoch} after {recoveries} recovery attempt(s): {reason}"
+            ),
+            TrainError::Crashed { epoch } => {
+                write!(f, "simulated crash at the top of epoch {epoch}")
+            }
+            TrainError::InvalidConfig(e) => write!(f, "invalid config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_structured_and_specific() {
+        let e = TrainError::Diverged { epoch: 12, recoveries: 3, reason: "loss = NaN".into() };
+        let s = e.to_string();
+        assert!(s.contains("epoch 12") && s.contains("3 recovery") && s.contains("loss = NaN"));
+        assert!(TrainError::Corrupt("checksum".into()).to_string().contains("corrupt"));
+        assert!(TrainError::Crashed { epoch: 4 }.to_string().contains("epoch 4"));
+    }
+}

@@ -31,13 +31,25 @@
 //! ```
 
 mod checkpoint;
+mod error;
 mod metrics;
 mod runner;
 mod table;
 mod trainer;
 
-pub use checkpoint::{load_params, save_params, CheckpointError};
+pub use checkpoint::{
+    fnv1a64, load_params, load_train_state, load_train_state_with_fallback, previous_generation,
+    save_params, save_train_state, TrainState,
+};
+pub use error::{TrainError, TrainResult};
 pub use metrics::{accuracy, confusion_counts, macro_f1};
-pub use runner::{run_seeds, SeedSummary};
+pub use runner::{run_seeds, run_seeds_fallible, SeedSummary};
 pub use table::Table;
-pub use trainer::{evaluate, fit, fit_with_callback, EpochStats, FitResult, TrainConfig};
+pub use trainer::{
+    evaluate, fit, fit_with_callback, fit_with_options, try_fit, CheckpointPolicy, EpochCallback,
+    EpochStats, FitOptions, FitResult, TrainConfig,
+};
+
+/// Former name of the unified [`TrainError`] (the checkpoint module used to
+/// carry its own error enum).
+pub type CheckpointError = TrainError;

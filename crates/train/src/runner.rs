@@ -1,37 +1,56 @@
 //! Multi-seed experiment runner: the paper runs "each method 10 times and
 //! reports the mean accuracy and the standard deviation".
+//!
+//! The fallible entry point [`run_seeds_fallible`] isolates per-seed
+//! failures: a seed whose training diverges is retried once from scratch,
+//! and if it fails again the cell degrades gracefully — the failure is
+//! recorded (and rendered as `n/a` when *every* seed failed) instead of
+//! poisoning the whole table with a panic.
 
 use lasagne_testkit::Json;
 
+use crate::error::{TrainError, TrainResult};
 use crate::trainer::FitResult;
 
 /// Aggregate of repeated seeded runs.
 #[derive(Clone, Debug)]
 pub struct SeedSummary {
-    /// Test accuracies (fraction in `[0,1]`), one per seed.
+    /// Test accuracies (fraction in `[0,1]`), one per *successful* seed.
     pub accs: Vec<f64>,
-    /// Mean test accuracy.
+    /// Mean test accuracy over successful seeds.
     pub mean: f64,
-    /// Population standard deviation.
+    /// Population standard deviation over successful seeds.
     pub std: f64,
-    /// Mean per-epoch optimization seconds across runs.
+    /// Mean per-epoch optimization seconds across successful runs.
     pub mean_epoch_seconds: f64,
-    /// Mean epochs until early stop.
+    /// Mean epochs until early stop across successful runs.
     pub mean_epochs: f64,
+    /// Seeds that completed.
+    pub n_ok: usize,
+    /// Seeds that failed even after one retry.
+    pub n_failed: usize,
+    /// `(seed, error)` for every failed seed.
+    pub failures: Vec<(u64, String)>,
 }
 
 impl SeedSummary {
-    /// `"84.1±0.2"`-style cell in percent, as in the paper's tables.
+    /// `"84.1±0.2"`-style cell in percent, as in the paper's tables —
+    /// `"n/a"` when every seed failed (never `NaN±NaN`).
     pub fn cell(&self) -> String {
+        if self.accs.is_empty() {
+            return "n/a".into();
+        }
         format!("{:.1}±{:.1}", 100.0 * self.mean, 100.0 * self.std)
     }
 
-    /// Mean accuracy in percent.
+    /// Mean accuracy in percent (NaN when every seed failed).
     pub fn mean_pct(&self) -> f64 {
         100.0 * self.mean
     }
 
-    /// JSON form (for result files the bench binaries emit).
+    /// JSON form (for result files the bench binaries emit). Failed seeds
+    /// surface as `n_failed`/`failures`, so a results file always records
+    /// how much of the table is real.
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("accs".into(), Json::Arr(self.accs.iter().map(|&a| Json::Num(a)).collect())),
@@ -39,27 +58,78 @@ impl SeedSummary {
             ("std".into(), Json::Num(self.std)),
             ("mean_epoch_seconds".into(), Json::Num(self.mean_epoch_seconds)),
             ("mean_epochs".into(), Json::Num(self.mean_epochs)),
+            ("n_ok".into(), Json::Num(self.n_ok as f64)),
+            ("n_failed".into(), Json::Num(self.n_failed as f64)),
+            (
+                "failures".into(),
+                Json::Arr(
+                    self.failures
+                        .iter()
+                        .map(|(seed, err)| {
+                            Json::Obj(vec![
+                                ("seed".into(), Json::Num(*seed as f64)),
+                                ("error".into(), Json::Str(err.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
+    }
+
+    fn aggregate(results: Vec<FitResult>, failures: Vec<(u64, String)>) -> SeedSummary {
+        let accs: Vec<f64> = results.iter().map(|r| r.test_acc).collect();
+        let n = accs.len();
+        let mean = if n == 0 { f64::NAN } else { accs.iter().sum::<f64>() / n as f64 };
+        let var = if n == 0 {
+            f64::NAN
+        } else {
+            accs.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / n as f64
+        };
+        SeedSummary {
+            mean,
+            std: var.sqrt(),
+            mean_epoch_seconds: results.iter().map(|r| r.mean_epoch_seconds).sum::<f64>()
+                / n.max(1) as f64,
+            mean_epochs: results.iter().map(|r| r.epochs as f64).sum::<f64>() / n.max(1) as f64,
+            n_ok: n,
+            n_failed: failures.len(),
+            failures,
+            accs,
+        }
     }
 }
 
 /// Run `f(seed)` for `n_seeds` seeds starting at `base_seed` and aggregate.
+/// Panics if any seed fails — use [`run_seeds_fallible`] for isolation.
 pub fn run_seeds(n_seeds: usize, base_seed: u64, mut f: impl FnMut(u64) -> FitResult) -> SeedSummary {
     assert!(n_seeds >= 1, "run_seeds: need at least one seed");
-    let results: Vec<FitResult> = (0..n_seeds)
-        .map(|i| f(base_seed + i as u64))
-        .collect();
-    let accs: Vec<f64> = results.iter().map(|r| r.test_acc).collect();
-    let mean = accs.iter().sum::<f64>() / accs.len() as f64;
-    let var = accs.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / accs.len() as f64;
-    SeedSummary {
-        mean,
-        std: var.sqrt(),
-        mean_epoch_seconds: results.iter().map(|r| r.mean_epoch_seconds).sum::<f64>()
-            / results.len() as f64,
-        mean_epochs: results.iter().map(|r| r.epochs as f64).sum::<f64>() / results.len() as f64,
-        accs,
+    let results: Vec<FitResult> = (0..n_seeds).map(|i| f(base_seed + i as u64)).collect();
+    SeedSummary::aggregate(results, Vec::new())
+}
+
+/// Like [`run_seeds`] but each seed's run may fail: a failed seed is retried
+/// once (a fresh attempt of the identical run — catches transient I/O), and
+/// a second failure records the seed in [`SeedSummary::failures`] while the
+/// remaining seeds still aggregate.
+pub fn run_seeds_fallible(
+    n_seeds: usize,
+    base_seed: u64,
+    mut f: impl FnMut(u64) -> TrainResult<FitResult>,
+) -> TrainResult<SeedSummary> {
+    if n_seeds < 1 {
+        return Err(TrainError::InvalidConfig("run_seeds: need at least one seed".into()));
     }
+    let mut results = Vec::with_capacity(n_seeds);
+    let mut failures = Vec::new();
+    for i in 0..n_seeds {
+        let seed = base_seed + i as u64;
+        match f(seed).or_else(|_| f(seed)) {
+            Ok(r) => results.push(r),
+            Err(e) => failures.push((seed, e.to_string())),
+        }
+    }
+    Ok(SeedSummary::aggregate(results, failures))
 }
 
 #[cfg(test)]
@@ -72,6 +142,7 @@ mod tests {
             test_acc: acc,
             epochs: 10,
             mean_epoch_seconds: secs,
+            recoveries: 0,
             history: Vec::new(),
         }
     }
@@ -85,6 +156,7 @@ mod tests {
         let expected_std = (0.02f64 / 3.0).sqrt();
         assert!((s.std - expected_std).abs() < 1e-12);
         assert_eq!(s.accs.len(), 3);
+        assert_eq!((s.n_ok, s.n_failed), (3, 0));
     }
 
     #[test]
@@ -101,5 +173,57 @@ mod tests {
     fn cell_formats_like_the_paper() {
         let s = run_seeds(2, 0, |i| fake(if i == 0 { 0.84 } else { 0.842 }, 0.0));
         assert_eq!(s.cell(), "84.1±0.1");
+    }
+
+    #[test]
+    fn failed_seed_is_retried_once_then_skipped() {
+        // Seed 1 fails both its attempts; seeds 0 and 2 succeed. Seed 2's
+        // first attempt fails but the retry lands.
+        let mut calls: Vec<u64> = Vec::new();
+        let mut seed2_failures = 0;
+        let s = run_seeds_fallible(3, 0, |seed| {
+            calls.push(seed);
+            match seed {
+                1 => Err(TrainError::Diverged {
+                    epoch: 7,
+                    recoveries: 2,
+                    reason: "loss = NaN".into(),
+                }),
+                2 if seed2_failures == 0 => {
+                    seed2_failures += 1;
+                    Err(TrainError::Io("transient".into()))
+                }
+                _ => Ok(fake(0.8, 0.01)),
+            }
+        })
+        .unwrap();
+        assert_eq!(calls, vec![0, 1, 1, 2, 2], "one retry for each failed attempt");
+        assert_eq!((s.n_ok, s.n_failed), (2, 1));
+        assert_eq!(s.failures.len(), 1);
+        assert_eq!(s.failures[0].0, 1);
+        assert!(s.failures[0].1.contains("diverged"), "{}", s.failures[0].1);
+        assert_eq!(s.accs, vec![0.8, 0.8]);
+        assert!((s.mean - 0.8).abs() < 1e-12, "mean over successful seeds only");
+    }
+
+    #[test]
+    fn all_seeds_failed_renders_na_not_nan() {
+        let s = run_seeds_fallible(2, 5, |_| {
+            Err(TrainError::Diverged { epoch: 0, recoveries: 0, reason: "loss = inf".into() })
+        })
+        .unwrap();
+        assert_eq!(s.cell(), "n/a");
+        assert_eq!((s.n_ok, s.n_failed), (0, 2));
+        assert!(s.mean.is_nan());
+        // The JSON dump must stay parseable: NaN means serialize as null.
+        let json = s.to_json().to_string();
+        assert!(json.contains("\"mean\":null"));
+        assert!(json.contains("\"n_failed\":2"));
+    }
+
+    #[test]
+    fn zero_seeds_is_a_typed_error() {
+        let err = run_seeds_fallible(0, 0, |_| Ok(fake(0.5, 0.0))).unwrap_err();
+        assert!(matches!(err, TrainError::InvalidConfig(_)));
     }
 }

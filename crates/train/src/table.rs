@@ -3,6 +3,8 @@
 
 use std::fmt::Write as _;
 
+use crate::error::{TrainError, TrainResult};
+
 /// A simple aligned text table.
 #[derive(Clone, Debug, Default)]
 pub struct Table {
@@ -21,17 +23,27 @@ impl Table {
         }
     }
 
-    /// Append one row (must match the header count).
+    /// Append one row (must match the header count); panics on a ragged
+    /// row — use [`Table::try_row`] to handle that as a value.
     pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(
-            cells.len(),
-            self.headers.len(),
-            "Table::row: {} cells for {} columns",
-            cells.len(),
-            self.headers.len()
-        );
-        self.rows.push(cells);
+        if let Err(e) = self.try_row(cells) {
+            panic!("{e}");
+        }
         self
+    }
+
+    /// Append one row, reporting a ragged row as a typed error instead of
+    /// panicking.
+    pub fn try_row(&mut self, cells: Vec<String>) -> TrainResult<&mut Self> {
+        if cells.len() != self.headers.len() {
+            return Err(TrainError::InvalidConfig(format!(
+                "Table::row: {} cells for {} columns",
+                cells.len(),
+                self.headers.len()
+            )));
+        }
+        self.rows.push(cells);
+        Ok(self)
     }
 
     /// Number of data rows.
@@ -118,5 +130,16 @@ mod tests {
     #[should_panic(expected = "cells for")]
     fn rejects_ragged_rows() {
         Table::new("", &["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn try_row_reports_ragged_rows_as_typed_errors() {
+        let mut t = Table::new("", &["a", "b"]);
+        let err = t.try_row(vec!["only-one".into()]).unwrap_err();
+        assert!(matches!(err, TrainError::InvalidConfig(_)));
+        assert!(err.to_string().contains("1 cells for 2 columns"), "{err}");
+        assert!(t.is_empty(), "failed row must not be appended");
+        t.try_row(vec!["x".into(), "y".into()]).unwrap();
+        assert_eq!(t.len(), 1);
     }
 }

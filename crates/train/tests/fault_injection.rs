@@ -1,0 +1,278 @@
+//! Robustness integration tests: deterministic fault injection against the
+//! full training stack (ISSUE 2 acceptance criteria).
+//!
+//! * A NaN poisoned into a chosen gradient step triggers rollback +
+//!   LR-halving and the run still converges to a finite result.
+//! * A corrupted/truncated checkpoint is caught by its checksum and the
+//!   previous generation is loaded — resumed training still reproduces the
+//!   uninterrupted run.
+//! * A simulated kill at epoch *k* plus `resume` reproduces the
+//!   uninterrupted run's trajectory **bit for bit**.
+
+use std::path::PathBuf;
+
+use lasagne_autograd::ParamStore;
+use lasagne_datasets::{Dataset, DatasetId, Split};
+use lasagne_gnn::models::Gcn;
+use lasagne_gnn::sampling::FullBatch;
+use lasagne_gnn::{GraphContext, Hyper, NodeClassifier};
+use lasagne_tensor::TensorRng;
+use lasagne_testkit::rng::Rng;
+use lasagne_testkit::FaultPlan;
+use lasagne_train::{
+    fit_with_options, load_params, load_train_state, save_params, try_fit, CheckpointPolicy,
+    FitOptions, FitResult, TrainConfig, TrainError, TrainResult,
+};
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lasagne-faultinj-{name}-{}.json", std::process::id()))
+}
+
+fn cleanup(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(lasagne_train::previous_generation(path));
+}
+
+/// One complete, freshly-seeded training setup (model + data + rng).
+struct Setup {
+    ds: Dataset,
+    model: Gcn,
+    ctx: GraphContext,
+    strat: FullBatch,
+    rng: TensorRng,
+}
+
+fn setup(seed: u64) -> Setup {
+    let ds = Dataset::generate(DatasetId::Cora, seed);
+    let hyper = Hyper::for_dataset(DatasetId::Cora);
+    let model = Gcn::new(ds.num_features(), ds.num_classes, &hyper, seed);
+    let ctx = GraphContext::from_dataset(&ds);
+    let strat = FullBatch::from_dataset(&ds);
+    let rng = TensorRng::seed_from_u64(seed);
+    Setup { ds, model, ctx, strat, rng }
+}
+
+fn cfg(max_epochs: usize) -> TrainConfig {
+    TrainConfig {
+        max_epochs,
+        patience: 1000, // no early stop: keeps trajectories comparable
+        lr: 0.02,
+        eval_every: 1,
+        ..TrainConfig::default()
+    }
+}
+
+fn run(s: &mut Setup, cfg: &TrainConfig, opts: FitOptions<'_>) -> TrainResult<FitResult> {
+    let sp: Split = s.ds.split.clone();
+    fit_with_options(&mut s.model, &mut s.strat, &s.ctx, &sp, cfg, &mut s.rng, opts)
+}
+
+/// Bitwise comparison of everything deterministic in a fit result
+/// (`train_seconds` is wall clock and excluded).
+fn assert_bitwise_equal(a: &FitResult, b: &FitResult) {
+    assert_eq!(a.epochs, b.epochs, "epoch counts differ");
+    assert_eq!(a.best_val_acc.to_bits(), b.best_val_acc.to_bits(), "best_val_acc differs");
+    assert_eq!(a.test_acc.to_bits(), b.test_acc.to_bits(), "test_acc differs");
+    for (ea, eb) in a.history.iter().zip(&b.history) {
+        assert_eq!(ea.epoch, eb.epoch);
+        assert_eq!(
+            ea.loss.to_bits(),
+            eb.loss.to_bits(),
+            "loss differs at epoch {}",
+            ea.epoch
+        );
+        assert_eq!(
+            ea.val_acc.map(f64::to_bits),
+            eb.val_acc.map(f64::to_bits),
+            "val_acc differs at epoch {}",
+            ea.epoch
+        );
+    }
+}
+
+#[test]
+fn nan_injection_triggers_recovery_and_still_converges() {
+    let mut s = setup(40);
+    let plan = FaultPlan::none().with_grad_nan_at(4);
+    let result = run(
+        &mut s,
+        &cfg(30),
+        FitOptions { fault: Some(&plan), ..FitOptions::default() },
+    )
+    .expect("one NaN step must be recoverable");
+    assert_eq!(result.recoveries, 1, "exactly one rollback + LR halving");
+    assert_eq!(result.epochs, 30, "the retried epoch is re-run, not skipped");
+    assert!(result.history.iter().all(|e| e.loss.is_finite()), "no NaN ever reaches the history");
+    assert!(result.test_acc.is_finite() && result.best_val_acc.is_finite());
+    assert!(
+        result.test_acc > s.ds.majority_baseline(),
+        "post-recovery run must still learn: {:.3} vs majority {:.3}",
+        result.test_acc,
+        s.ds.majority_baseline()
+    );
+}
+
+#[test]
+fn persistent_divergence_exhausts_retries_with_structured_error() {
+    let mut s = setup(41);
+    // Poison the first three global steps: epoch 0 fails, both retries fail.
+    let plan = FaultPlan::none().with_grad_nan_at(0).with_grad_nan_at(1).with_grad_nan_at(2);
+    let config = TrainConfig { max_recoveries: 2, ..cfg(10) };
+    let err = run(
+        &mut s,
+        &config,
+        FitOptions { fault: Some(&plan), ..FitOptions::default() },
+    )
+    .unwrap_err();
+    match err {
+        TrainError::Diverged { epoch, recoveries, ref reason } => {
+            assert_eq!(epoch, 0);
+            assert_eq!(recoveries, 2, "both allowed recoveries were consumed");
+            assert!(reason.contains("gradient"), "reason: {reason}");
+        }
+        other => panic!("expected Diverged, got: {other}"),
+    }
+    assert!(
+        !s.model.store().values_non_finite(),
+        "even a failed run must not leave NaN weights behind"
+    );
+}
+
+#[test]
+fn crash_at_epoch_k_then_resume_is_bit_identical() {
+    let path = temp_path("resume");
+    cleanup(&path);
+    let config = cfg(12);
+
+    // Uninterrupted reference run.
+    let mut a = setup(42);
+    let sp = a.ds.split.clone();
+    let baseline = try_fit(&mut a.model, &mut a.strat, &a.ctx, &sp, &config, &mut a.rng).unwrap();
+
+    // Same run, killed at the top of epoch 5 with per-epoch checkpoints.
+    let mut b = setup(42);
+    let plan = FaultPlan::none().with_crash_at_epoch(5);
+    let err = run(
+        &mut b,
+        &config,
+        FitOptions {
+            fault: Some(&plan),
+            checkpoint: Some(CheckpointPolicy::every_epoch(path.clone())),
+            ..FitOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, TrainError::Crashed { epoch: 5 }), "{err}");
+    let saved = load_train_state(&path).expect("checkpoint must exist after the crash");
+    assert_eq!(saved.next_epoch, 5, "epochs 0..=4 completed before the kill");
+
+    // Fresh process: resume from the checkpoint and finish.
+    let mut c = setup(42);
+    let resumed = run(
+        &mut c,
+        &config,
+        FitOptions {
+            checkpoint: Some(CheckpointPolicy::every_epoch(path.clone())),
+            resume: true,
+            ..FitOptions::default()
+        },
+    )
+    .unwrap();
+    assert_bitwise_equal(&baseline, &resumed);
+    cleanup(&path);
+}
+
+#[test]
+fn corrupt_latest_checkpoint_falls_back_to_prev_and_still_reproduces() {
+    let path = temp_path("fallback");
+    cleanup(&path);
+    let config = cfg(10);
+
+    let mut a = setup(43);
+    let sp = a.ds.split.clone();
+    let baseline = try_fit(&mut a.model, &mut a.strat, &a.ctx, &sp, &config, &mut a.rng).unwrap();
+
+    // Crash at epoch 6, then mangle the newest checkpoint (torn write).
+    let mut b = setup(43);
+    let plan = FaultPlan::none().with_crash_at_epoch(6);
+    let _ = run(
+        &mut b,
+        &config,
+        FitOptions {
+            fault: Some(&plan),
+            checkpoint: Some(CheckpointPolicy::every_epoch(path.clone())),
+            ..FitOptions::default()
+        },
+    )
+    .unwrap_err();
+    lasagne_testkit::truncate_file(&path, 0.5).unwrap();
+    assert!(
+        matches!(load_train_state(&path), Err(TrainError::Parse(_) | TrainError::Corrupt(_))),
+        "truncated checkpoint must never load"
+    );
+
+    // Resume: the loader falls back to the .prev generation (epoch 5's
+    // state) and the replayed tail still matches the baseline bit for bit.
+    let mut c = setup(43);
+    let resumed = run(
+        &mut c,
+        &config,
+        FitOptions {
+            checkpoint: Some(CheckpointPolicy::every_epoch(path.clone())),
+            resume: true,
+            ..FitOptions::default()
+        },
+    )
+    .unwrap();
+    assert_bitwise_equal(&baseline, &resumed);
+    cleanup(&path);
+}
+
+#[test]
+fn flipped_checkpoint_byte_never_yields_garbage_weights() {
+    // Property: for any single-bit corruption of a saved params checkpoint,
+    // loading either fails with a typed error or — when the flip is
+    // semantically neutral (e.g. `e` ↔ `E` in a float exponent) — produces
+    // weights bit-identical to the originals. It must never load garbage.
+    let path = temp_path("property");
+    let mut trial_rng = Rng::seed_from_u64(7);
+    let mut rejected = 0usize;
+    for trial in 0..25u64 {
+        let mut src_rng = TensorRng::seed_from_u64(trial);
+        let mut src = ParamStore::new();
+        src.add("w", src_rng.uniform_tensor(4, 3, -1.0, 1.0));
+        src.add("c", src_rng.uniform_tensor(1, 3, -1.0, 1.0));
+        save_params(&src, &path).unwrap();
+        lasagne_testkit::flip_byte(&path, &mut trial_rng).unwrap();
+
+        let mut dst_rng = TensorRng::seed_from_u64(trial + 1000);
+        let mut dst = ParamStore::new();
+        let w = dst.add("w", dst_rng.uniform_tensor(4, 3, -1.0, 1.0));
+        let c = dst.add("c", dst_rng.uniform_tensor(1, 3, -1.0, 1.0));
+        match load_params(&mut dst, &path) {
+            Err(
+                TrainError::Corrupt(_) | TrainError::Parse(_) | TrainError::Mismatch(_)
+                | TrainError::Io(_),
+            ) => rejected += 1,
+            Err(other) => panic!("trial {trial}: unexpected error kind: {other}"),
+            Ok(()) => {
+                for id in [w, c] {
+                    let (a, b) = (src.value(id), dst.value(id));
+                    assert_eq!(a.shape(), b.shape());
+                    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "trial {trial}: a flip that passed the checksum must be neutral"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        rejected >= 20,
+        "the checksum should catch the overwhelming majority of flips ({rejected}/25)"
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -12,4 +12,10 @@ cargo build --release --offline
 echo "== cargo test -q --offline =="
 cargo test -q --offline
 
+echo "== fault-injection smoke (rollback, checksum fallback, bit-identical resume) =="
+cargo test -q --offline -p lasagne-train --test fault_injection
+
+echo "== release CLI links with --resume/--max-recoveries/--clip-norm =="
+cargo run --release --offline --bin lasagne-cli -- --list > /dev/null
+
 echo "verify: OK"

@@ -4,8 +4,15 @@
 //! ```sh
 //! cargo run --release --bin lasagne-cli -- cora lasagne-stochastic --depth 5 --seeds 3
 //! cargo run --release --bin lasagne-cli -- pubmed gcn --epochs 100 --save /tmp/gcn.json
+//! cargo run --release --bin lasagne-cli -- cora gcn --resume /tmp/run.ckpt.json
 //! cargo run --release --bin lasagne-cli -- --list
 //! ```
+//!
+//! `--resume PATH` keeps a crash-safe train-state checkpoint at PATH (saved
+//! every epoch) and, when PATH already exists, continues from it
+//! bit-identically instead of starting over. `--max-recoveries` bounds how
+//! many divergence rollbacks (with LR halving) a run may consume, and
+//! `--clip-norm` bounds the global gradient norm.
 
 use lasagne::prelude::*;
 use lasagne_train::save_params;
@@ -18,6 +25,9 @@ struct Args {
     epochs: usize,
     data_seed: u64,
     save: Option<std::path::PathBuf>,
+    resume: Option<std::path::PathBuf>,
+    max_recoveries: Option<usize>,
+    clip_norm: Option<f32>,
 }
 
 const MODELS: &[&str] = &[
@@ -28,6 +38,7 @@ const MODELS: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!("usage: lasagne-cli <dataset> <model> [--depth N] [--seeds N] [--epochs N] [--data-seed N] [--save PATH]");
+    eprintln!("                   [--resume PATH] [--max-recoveries N] [--clip-norm X]");
     eprintln!("       lasagne-cli --list");
     eprintln!("datasets: {}", DatasetId::all().map(|d| d.name()).join(", "));
     eprintln!("models:   {}", MODELS.join(", "));
@@ -61,6 +72,9 @@ fn parse_args() -> Args {
         epochs: 150,
         data_seed: 0,
         save: None,
+        resume: None,
+        max_recoveries: None,
+        clip_norm: None,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -72,9 +86,18 @@ fn parse_args() -> Args {
             "--epochs" => args.epochs = value.parse().unwrap_or_else(|_| usage()),
             "--data-seed" => args.data_seed = value.parse().unwrap_or_else(|_| usage()),
             "--save" => args.save = Some(value.into()),
+            "--resume" => args.resume = Some(value.into()),
+            "--max-recoveries" => {
+                args.max_recoveries = Some(value.parse().unwrap_or_else(|_| usage()))
+            }
+            "--clip-norm" => args.clip_norm = Some(value.parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
         i += 2;
+    }
+    if args.resume.is_some() && args.seeds != 1 {
+        eprintln!("--resume tracks a single run; use it with --seeds 1 (the default)");
+        std::process::exit(2);
     }
     args
 }
@@ -127,31 +150,58 @@ fn main() {
     } else if args.model.starts_with("lasagne") {
         hyper.depth = 5;
     }
-    let train_cfg = TrainConfig { max_epochs: args.epochs, ..TrainConfig::from_hyper(&hyper) };
+    let mut train_cfg = TrainConfig { max_epochs: args.epochs, ..TrainConfig::from_hyper(&hyper) };
+    if let Some(n) = args.max_recoveries {
+        train_cfg.max_recoveries = n;
+    }
+    train_cfg.clip_norm = args.clip_norm;
     let ctx = GraphContext::from_dataset(&ds);
 
     let mut last_model: Option<Box<dyn NodeClassifier>> = None;
-    let summary = run_seeds(args.seeds, 42, |seed| {
+    let summary = run_seeds_fallible(args.seeds, 42, |seed| {
         let mut model = build(&args.model, &ds, &hyper, seed);
         let mut strat = FullBatch::from_dataset(&ds);
         let mut rng = TensorRng::seed_from_u64(seed ^ 0xc11);
-        let r = fit(model.as_mut(), &mut strat, &ctx, &ds.split, &train_cfg, &mut rng);
-        last_model = Some(model);
+        let opts = FitOptions {
+            checkpoint: args.resume.clone().map(CheckpointPolicy::every_epoch),
+            resume: args.resume.is_some(),
+            ..FitOptions::default()
+        };
+        let r = fit_with_options(
+            model.as_mut(), &mut strat, &ctx, &ds.split, &train_cfg, &mut rng, opts,
+        );
+        if r.is_ok() {
+            last_model = Some(model);
+        }
         r
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     });
-    let model = last_model.expect("at least one seed ran");
+    for (seed, err) in &summary.failures {
+        eprintln!("seed {seed} failed (after one retry): {err}");
+    }
+    let Some(model) = last_model else {
+        eprintln!("error: every seed failed; nothing to report");
+        std::process::exit(1);
+    };
     println!(
-        "{} (depth {}): test accuracy {} over {} seed(s), {:.0} ms/epoch, ~{:.0} epochs",
+        "{} (depth {}): test accuracy {} over {} ok / {} failed seed(s), {:.0} ms/epoch, ~{:.0} epochs",
         model.name(),
         hyper.depth,
         summary.cell(),
-        args.seeds,
+        summary.n_ok,
+        summary.n_failed,
         1000.0 * summary.mean_epoch_seconds,
         summary.mean_epochs,
     );
 
     if let Some(path) = args.save {
-        save_params(model.store(), &path).expect("failed to save checkpoint");
+        if let Err(e) = save_params(model.store(), &path) {
+            eprintln!("error: failed to save checkpoint: {e}");
+            std::process::exit(1);
+        }
         println!("saved weights of the last seed to {}", path.display());
     }
 }

@@ -48,5 +48,8 @@ pub mod prelude {
     pub use lasagne_mi::MiEstimator;
     pub use lasagne_sparse::Csr;
     pub use lasagne_tensor::{Tensor, TensorRng};
-    pub use lasagne_train::{accuracy, fit, run_seeds, Table, TrainConfig};
+    pub use lasagne_train::{
+        accuracy, fit, fit_with_options, run_seeds, run_seeds_fallible, try_fit, CheckpointPolicy,
+        FitOptions, Table, TrainConfig, TrainError, TrainResult,
+    };
 }
