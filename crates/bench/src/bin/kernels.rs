@@ -1,0 +1,247 @@
+//! Serial-vs-parallel throughput baseline for the five `lasagne-par`-wired
+//! kernels: `matmul`, `matmul_tn`, `matmul_nt`, `spmm`, `spmm_t` (plus the
+//! retired scatter `spmm_t` for reference). Replaces the old
+//! `benches/kernels` target.
+//!
+//! Each kernel runs on Cora-scale and Pubmed-scale synthetic operators
+//! across hidden widths from 16 to 512, once with the pool pinned to one
+//! thread and once at the `--threads` count, and the medians land in
+//! `BENCH_kernels.json` at the repo root (testkit JSON codec, so the file
+//! is deterministic byte-wise up to the timings themselves).
+//!
+//! ```text
+//! cargo run --release -p lasagne-bench --bin kernels [-- --smoke] [--threads N] [--out PATH]
+//! ```
+//!
+//! By the determinism contract the parallel run computes bitwise the same
+//! outputs — this binary double-checks that on the first shape of every
+//! kernel as a guard against silent contract rot. Note the `speedup` column
+//! is only meaningful on multi-core hardware; `available_parallelism` is
+//! recorded in the JSON so a reader can tell a 1-core CI box from a real
+//! measurement.
+
+use std::hint::black_box;
+
+use lasagne_sparse::Csr;
+use lasagne_tensor::{Tensor, TensorRng};
+use lasagne_testkit::bench::bench_with;
+use lasagne_testkit::json::Json;
+
+struct Config {
+    smoke: bool,
+    threads: usize,
+    out: String,
+    warmup: usize,
+    samples: usize,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: kernels [--smoke] [--threads N] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Config {
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let mut cfg = Config {
+        smoke: false,
+        threads: 4,
+        out: default_out.to_string(),
+        warmup: 1,
+        samples: 5,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => cfg.smoke = true,
+            "--threads" => {
+                i += 1;
+                cfg.threads = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                cfg.out = argv.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if cfg.smoke {
+        cfg.warmup = 1;
+        cfg.samples = 3;
+    }
+    cfg
+}
+
+/// A random symmetric graph operator at GCN normalization, Cora/Pubmed
+/// shaped: `n` nodes, ≈ `2 * edges` stored entries plus self-loops.
+fn synthetic_a_hat(rng: &mut TensorRng, n: usize, edges: usize) -> Csr {
+    let mut coo = Vec::with_capacity(2 * edges + n);
+    for _ in 0..edges {
+        let u = rng.index(n) as u32;
+        let v = rng.index(n) as u32;
+        if u != v {
+            coo.push((u, v, 1.0));
+            coo.push((v, u, 1.0));
+        }
+    }
+    Csr::from_coo(n, n, &coo).gcn_normalize()
+}
+
+struct Entry {
+    kernel: &'static str,
+    shape: String,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+/// Time `f` serially and at `threads` threads; on `check`, also assert the
+/// two thread counts produce bitwise identical output.
+fn measure(
+    cfg: &Config,
+    entries: &mut Vec<Entry>,
+    kernel: &'static str,
+    shape: String,
+    check: bool,
+    f: impl Fn() -> Tensor,
+) {
+    if check {
+        lasagne_par::set_threads(1);
+        let serial = f();
+        lasagne_par::set_threads(cfg.threads);
+        let parallel = f();
+        assert_eq!(
+            serial.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            parallel.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "{kernel} {shape}: determinism contract violated"
+        );
+    }
+    lasagne_par::set_threads(1);
+    let s = bench_with(&format!("{kernel}/{shape}/serial"), cfg.warmup, cfg.samples, || {
+        black_box(f());
+    });
+    lasagne_par::set_threads(cfg.threads);
+    let p = bench_with(
+        &format!("{kernel}/{shape}/threads{}", cfg.threads),
+        cfg.warmup,
+        cfg.samples,
+        || {
+            black_box(f());
+        },
+    );
+    println!(
+        "{kernel:<16} {shape:<24} serial {:>9.3} ms  x{} {:>9.3} ms  speedup {:.2}",
+        s.median_seconds() * 1e3,
+        cfg.threads,
+        p.median_seconds() * 1e3,
+        s.median_seconds() / p.median_seconds().max(1e-12),
+    );
+    entries.push(Entry {
+        kernel,
+        shape,
+        serial_ms: s.median_seconds() * 1e3,
+        parallel_ms: p.median_seconds() * 1e3,
+    });
+}
+
+fn main() {
+    let cfg = parse_args();
+    let mut rng = TensorRng::seed_from_u64(7);
+
+    // (label, nodes, random edges) per graph; hidden widths swept per kernel.
+    let (graphs, dims): (Vec<(&str, usize, usize)>, Vec<usize>) = if cfg.smoke {
+        (vec![("tiny", 200, 400)], vec![8])
+    } else {
+        (
+            vec![("cora_scale", 2708, 5400), ("pubmed_scale", 19717, 44300)],
+            vec![16, 64, 256, 512],
+        )
+    };
+
+    let mut entries: Vec<Entry> = Vec::new();
+
+    for &(label, n, edges) in &graphs {
+        let a_hat = synthetic_a_hat(&mut rng, n, edges);
+        for (di, &d) in dims.iter().enumerate() {
+            let h = rng.uniform_tensor(n, d, -1.0, 1.0);
+            let check = di == 0;
+            measure(&cfg, &mut entries, "spmm", format!("{label}_x{d}"), check, || {
+                a_hat.spmm(&h)
+            });
+            measure(&cfg, &mut entries, "spmm_t", format!("{label}_x{d}"), check, || {
+                a_hat.spmm_t(&h)
+            });
+            if di == 0 {
+                // The retired per-edge scatter kernel, for the record: the
+                // gather rewrite must not be slower even single-threaded.
+                measure(
+                    &cfg,
+                    &mut entries,
+                    "spmm_t_scatter",
+                    format!("{label}_x{d}"),
+                    false,
+                    || a_hat.spmm_t_scatter(&h),
+                );
+            }
+        }
+    }
+
+    // Dense products at GCN layer shapes: n×k · k×m forward, plus both
+    // transposed backward products, widths spanning 16–512.
+    let n = if cfg.smoke { 128 } else { 2708 };
+    let mm_dims: Vec<(usize, usize)> = if cfg.smoke {
+        vec![(8, 8)]
+    } else {
+        vec![(16, 16), (128, 64), (512, 128)]
+    };
+    for (ki, &(k, m)) in mm_dims.iter().enumerate() {
+        let a = rng.uniform_tensor(n, k, -1.0, 1.0);
+        let b = rng.uniform_tensor(k, m, -1.0, 1.0);
+        let g = rng.uniform_tensor(n, m, -1.0, 1.0);
+        let check = ki == 0;
+        let shape = format!("{n}x{k}x{m}");
+        measure(&cfg, &mut entries, "matmul", shape.clone(), check, || a.matmul(&b));
+        measure(&cfg, &mut entries, "matmul_tn", shape.clone(), check, || {
+            a.matmul_tn(&g)
+        });
+        measure(&cfg, &mut entries, "matmul_nt", shape.clone(), check, || {
+            g.matmul_nt(&b)
+        });
+    }
+
+    let cores = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let json = Json::Obj(vec![
+        ("bench".into(), Json::Str("kernels".into())),
+        ("smoke".into(), Json::Bool(cfg.smoke)),
+        ("available_parallelism".into(), Json::Num(cores as f64)),
+        ("serial_threads".into(), Json::Num(1.0)),
+        ("parallel_threads".into(), Json::Num(cfg.threads as f64)),
+        ("samples".into(), Json::Num(cfg.samples as f64)),
+        (
+            "entries".into(),
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Json::Obj(vec![
+                            ("kernel".into(), Json::Str(e.kernel.into())),
+                            ("shape".into(), Json::Str(e.shape.clone())),
+                            ("serial_ms".into(), Json::Num(e.serial_ms)),
+                            ("parallel_ms".into(), Json::Num(e.parallel_ms)),
+                            (
+                                "speedup".into(),
+                                Json::Num(e.serial_ms / e.parallel_ms.max(1e-12)),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&cfg.out, json.to_string()).expect("write bench json");
+    println!("wrote {}", cfg.out);
+}

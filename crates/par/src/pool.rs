@@ -1,0 +1,229 @@
+//! The persistent worker pool behind the `lasagne-par` entry points.
+//!
+//! One pool lives for the whole process (rebuildable via
+//! [`crate::set_threads`]). A *job* is a closure over chunk indices
+//! `0..n_chunks`; workers and the submitting thread race through the chunk
+//! counter with `fetch_add`, so *which thread* runs a chunk is scheduling
+//! noise, but *what each chunk computes* — and therefore the result — is
+//! fixed by the chunk boundaries alone (see the determinism contract in the
+//! crate docs and DESIGN.md §8).
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+thread_local! {
+    /// True on pool workers, and on the submitting thread while it
+    /// participates in a job. Nested parallel entry points check this and
+    /// degrade to inline execution instead of deadlocking on `submit`.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Lifetime-count of OS threads this process has spawned for pools; lets
+/// tests assert that repeated jobs reuse workers instead of leaking threads.
+static THREADS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+/// Total pool worker threads ever spawned by this process.
+pub fn total_threads_spawned() -> usize {
+    THREADS_SPAWNED.load(Ordering::SeqCst)
+}
+
+/// True while the current thread is executing inside a pool job.
+pub(crate) fn in_parallel() -> bool {
+    IN_PARALLEL.with(|c| c.get())
+}
+
+/// Erased pointer to the current job's chunk closure. `Pool::run` keeps the
+/// closure's frame alive until every chunk has finished, so the pointer
+/// never dangles.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is `Sync` (shared `&`-calls from many threads are its
+// contract) and outlives the job; see `Pool::run`.
+unsafe impl Send for TaskPtr {}
+
+#[derive(Clone, Copy)]
+struct Job {
+    task: TaskPtr,
+    n_chunks: usize,
+}
+
+struct State {
+    job: Option<Job>,
+    /// Increments once per submitted job so a worker never re-runs a job it
+    /// has already finished (or joins one that has been cleared).
+    seq: u64,
+    /// Workers currently inside the active job.
+    running: usize,
+    shutdown: bool,
+    /// First panic payload captured from any chunk of the active job.
+    panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signaled on job submission and shutdown.
+    work: Condvar,
+    /// Signaled when the last worker leaves a job.
+    done: Condvar,
+    /// Next unclaimed chunk of the active job.
+    next_chunk: AtomicUsize,
+}
+
+fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
+    // A panicking chunk is caught before the payload is stored under this
+    // lock, so poisoning can only come from an assert inside the tiny
+    // critical sections below; recover rather than cascade.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A fixed-size persistent worker pool (`threads - 1` workers; the
+/// submitting thread is the remaining participant).
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+    /// Serializes `run` calls from different user threads.
+    submit: Mutex<()>,
+    threads: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    pub(crate) fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                seq: 0,
+                running: 0,
+                shutdown: false,
+                panic: None,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            next_chunk: AtomicUsize::new(0),
+        });
+        let mut workers = Vec::with_capacity(threads.saturating_sub(1));
+        for i in 1..threads {
+            let sh = Arc::clone(&shared);
+            THREADS_SPAWNED.fetch_add(1, Ordering::SeqCst);
+            let handle = std::thread::Builder::new()
+                .name(format!("lasagne-par-{i}"))
+                .spawn(move || worker_loop(sh))
+                .expect("lasagne-par: failed to spawn worker thread");
+            workers.push(handle);
+        }
+        Pool { shared, submit: Mutex::new(()), threads, workers }
+    }
+
+    /// Configured thread count (including the submitting thread).
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute `task(c)` for every `c in 0..n_chunks` across the pool.
+    /// Returns after *all* chunks have finished; re-raises the first chunk
+    /// panic. Callers guarantee `n_chunks > 1` and `threads > 1` (the cheap
+    /// cases are inlined upstream in `run_job`).
+    pub(crate) fn run(&self, n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+        let _submit = self.submit.lock().unwrap_or_else(|e| e.into_inner());
+        // SAFETY (lifetime erasure): this frame does not return until
+        // `running == 0` and the chunk counter is exhausted, so the borrow
+        // outlives every dereference of the erased pointer.
+        let task_static: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute(task) };
+        let job = Job { task: TaskPtr(task_static as *const _), n_chunks };
+        {
+            let mut st = lock(&self.shared.state);
+            self.shared.next_chunk.store(0, Ordering::SeqCst);
+            st.seq = st.seq.wrapping_add(1);
+            st.job = Some(job);
+            st.panic = None;
+            self.shared.work.notify_all();
+        }
+        // Participate. Mark the thread parallel so a nested entry point
+        // from inside a chunk runs inline instead of re-locking `submit`.
+        let was = IN_PARALLEL.with(|c| c.replace(true));
+        run_chunks(&self.shared, job);
+        IN_PARALLEL.with(|c| c.set(was));
+
+        let mut st = lock(&self.shared.state);
+        while st.running > 0 {
+            st = self
+                .shared
+                .done
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        st.job = None;
+        let payload = st.panic.take();
+        drop(st);
+        drop(_submit);
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Claim and run chunks of `job` until the counter is exhausted. Panics are
+/// caught per chunk (first payload wins) so one poisoned chunk cannot kill
+/// a worker thread or leave siblings blocked.
+fn run_chunks(shared: &Shared, job: Job) {
+    // SAFETY: see `Pool::run` — the closure outlives the job.
+    let task = unsafe { &*job.task.0 };
+    loop {
+        let c = shared.next_chunk.fetch_add(1, Ordering::Relaxed);
+        if c >= job.n_chunks {
+            break;
+        }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(c))) {
+            let mut st = lock(&shared.state);
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    IN_PARALLEL.with(|c| c.set(true));
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(job) = st.job {
+                    if st.seq != seen {
+                        seen = st.seq;
+                        st.running += 1;
+                        break job;
+                    }
+                }
+                st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        run_chunks(&shared, job);
+        let mut st = lock(&shared.state);
+        st.running -= 1;
+        if st.running == 0 {
+            shared.done.notify_all();
+        }
+    }
+}

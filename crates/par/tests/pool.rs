@@ -1,0 +1,78 @@
+//! Pool lifecycle tests: the workers are spawned once per size, survive
+//! arbitrarily many jobs (no thread-per-job leak), propagate chunk panics
+//! to the submitter, and stay usable afterwards.
+//!
+//! A single `#[test]` sequences all of it because the pool (and its spawn
+//! counter) is process-global.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn pool_is_persistent_panic_safe_and_resizable() {
+    lasagne_par::set_threads(3);
+    assert_eq!(lasagne_par::current_threads(), 3);
+    let spawned_before = lasagne_par::total_threads_spawned();
+
+    // Many jobs, each with many chunks: every chunk must run exactly once,
+    // and no new OS threads may appear.
+    for round in 0..100usize {
+        let hits = AtomicUsize::new(0);
+        lasagne_par::parallel_for_rows(64, 4, |r| {
+            hits.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64, "round {round}");
+    }
+    assert_eq!(
+        lasagne_par::total_threads_spawned(),
+        spawned_before,
+        "jobs must reuse the persistent workers, not spawn new threads"
+    );
+
+    // A panic inside one chunk reaches the submitting thread with its
+    // payload intact...
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        lasagne_par::parallel_for_rows(32, 1, |r| {
+            if r.start == 17 {
+                panic!("boom in chunk 17");
+            }
+        });
+    }));
+    let payload = result.expect_err("worker panic must propagate");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(msg.contains("boom in chunk 17"), "unexpected payload: {msg}");
+
+    // ...and the pool keeps working afterwards.
+    let hits = AtomicUsize::new(0);
+    lasagne_par::parallel_for_rows(50, 7, |r| {
+        hits.fetch_add(r.len(), Ordering::Relaxed);
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 50);
+
+    // Nested parallelism runs inline instead of deadlocking the pool.
+    let nested = AtomicUsize::new(0);
+    lasagne_par::parallel_for_rows(8, 2, |_| {
+        lasagne_par::parallel_for_rows(8, 2, |inner| {
+            nested.fetch_add(inner.len(), Ordering::Relaxed);
+        });
+    });
+    assert_eq!(nested.load(Ordering::Relaxed), 32);
+
+    // Resizing spawns a fresh pool; same-size set_threads is a no-op.
+    lasagne_par::set_threads(2);
+    assert_eq!(lasagne_par::current_threads(), 2);
+    let after_resize = lasagne_par::total_threads_spawned();
+    assert!(after_resize > spawned_before, "resize must build a new pool");
+    lasagne_par::set_threads(2);
+    assert_eq!(lasagne_par::total_threads_spawned(), after_resize);
+
+    let hits = AtomicUsize::new(0);
+    lasagne_par::parallel_for_rows(64, 4, |r| {
+        hits.fetch_add(r.len(), Ordering::Relaxed);
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 64);
+}

@@ -1,6 +1,14 @@
 //! The [`Csr`] type: compressed sparse row `f32` matrices with `u32` column
 //! indices (graphs here stay below 2³² nodes by a wide margin, and the
 //! narrower index type halves the memory traffic of SpMM).
+//!
+//! Both SpMM kernels run gather-style over *output* rows — each output row
+//! is written by exactly one chunk, and its neighbors accumulate in
+//! ascending source-row order — so they partition onto the `lasagne-par`
+//! pool with nnz-balanced chunks while staying bitwise identical to the
+//! serial loop at any thread count (DESIGN.md §8).
+
+use std::sync::OnceLock;
 
 use lasagne_tensor::Tensor;
 
@@ -11,13 +19,53 @@ use lasagne_tensor::Tensor;
 /// * column indices within each row are strictly increasing (duplicates are
 ///   summed at construction);
 /// * `indices.len() == values.len() == indptr[rows]`.
-#[derive(Clone, Debug, PartialEq)]
 pub struct Csr {
     rows: usize,
     cols: usize,
     indptr: Vec<usize>,
     indices: Vec<u32>,
     values: Vec<f32>,
+    /// Lazily materialized transpose, shared by every `spmm_t` call (the
+    /// backward of each training step re-uses the one built on step 1).
+    /// Invalidated whenever `values_mut` hands out write access. Boxed so
+    /// the recursion in the type is finite; deliberately excluded from
+    /// `Clone`/`PartialEq`/`Debug` — it is a cache, not state.
+    t_cache: OnceLock<Box<Csr>>,
+}
+
+impl Clone for Csr {
+    fn clone(&self) -> Csr {
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            values: self.values.clone(),
+            t_cache: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Csr {
+    fn eq(&self, other: &Csr) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.indptr == other.indptr
+            && self.indices == other.indices
+            && self.values == other.values
+    }
+}
+
+impl std::fmt::Debug for Csr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Csr")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("indptr", &self.indptr)
+            .field("indices", &self.indices)
+            .field("values", &self.values)
+            .finish()
+    }
 }
 
 impl Csr {
@@ -58,6 +106,7 @@ impl Csr {
             indptr,
             indices,
             values,
+            t_cache: OnceLock::new(),
         }
     }
 
@@ -85,6 +134,7 @@ impl Csr {
             indptr,
             indices,
             values,
+            t_cache: OnceLock::new(),
         }
     }
 
@@ -96,6 +146,7 @@ impl Csr {
             indptr: (0..=n).collect(),
             indices: (0..n as u32).collect(),
             values: vec![1.0; n],
+            t_cache: OnceLock::new(),
         }
     }
 
@@ -172,15 +223,28 @@ impl Csr {
     }
 
     /// Mutable value array (structure-preserving reweighting, e.g. GraphSAINT
-    /// normalization).
+    /// normalization). Drops the cached transpose — its values would go
+    /// stale the moment the caller writes.
     #[inline]
     pub fn values_mut(&mut self) -> &mut [f32] {
+        self.t_cache = OnceLock::new();
         &mut self.values
+    }
+
+    /// The transpose, materialized once on first use and cached for the
+    /// lifetime of this matrix (or until [`Csr::values_mut`] invalidates
+    /// it). This is what makes gather-form [`Csr::spmm_t`] pay the O(nnz)
+    /// transpose cost once per training run instead of once per step.
+    pub fn transposed(&self) -> &Csr {
+        self.t_cache.get_or_init(|| Box::new(self.transpose()))
     }
 
     /// Sparse × dense: `self · dense`. The inner loop streams a contiguous
     /// dense row, so it auto-vectorizes; this is the hot kernel of every
-    /// model in the stack.
+    /// model in the stack. Output rows are fanned out in nnz-balanced
+    /// chunks — every chunk writes only its own rows, and each row's
+    /// neighbors accumulate in stored (ascending-column) order, so the
+    /// result is bitwise thread-count-invariant.
     pub fn spmm(&self, dense: &Tensor) -> Tensor {
         assert_eq!(
             self.cols,
@@ -193,24 +257,40 @@ impl Csr {
         );
         let d = dense.cols();
         let mut out = Tensor::zeros(self.rows, d);
-        for i in 0..self.rows {
-            let lo = self.indptr[i];
-            let hi = self.indptr[i + 1];
-            let o_row = out.row_mut(i);
-            for e in lo..hi {
-                let j = self.indices[e] as usize;
-                let v = self.values[e];
-                let d_row = dense.row(j);
-                for (o, &x) in o_row.iter_mut().zip(d_row) {
-                    *o += v * x;
-                }
-            }
+        if d == 0 || self.rows == 0 {
+            return out;
         }
+        let (indptr, indices, values) = (&self.indptr, &self.indices, &self.values);
+        lasagne_par::par_csr_row_chunks_mut(
+            out.as_mut_slice(),
+            d,
+            indptr,
+            lasagne_par::DEFAULT_CSR_CHUNK_NNZ,
+            |i0, chunk| {
+                for (r, o_row) in chunk.chunks_mut(d).enumerate() {
+                    let i = i0 + r;
+                    for e in indptr[i]..indptr[i + 1] {
+                        let j = indices[e] as usize;
+                        let v = values[e];
+                        for (o, &x) in o_row.iter_mut().zip(dense.row(j)) {
+                            *o += v * x;
+                        }
+                    }
+                }
+            },
+        );
         out
     }
 
-    /// `selfᵀ · dense` without materializing the transpose (scatter form);
-    /// this is the backward pass of [`Csr::spmm`].
+    /// `selfᵀ · dense` without forming a transpose per call: runs
+    /// [`Csr::spmm`] on the lazily [cached transpose](Csr::transposed).
+    /// This is the backward pass of [`Csr::spmm`].
+    ///
+    /// Gather form replaces the old per-edge scatter (which copied a dense
+    /// row per *source* row and could not row-partition); the transposed
+    /// rows list source rows in ascending order — the scatter's exact
+    /// accumulation order — so results are bitwise unchanged
+    /// ([`Csr::spmm_t_scatter`] stays around as the test reference).
     pub fn spmm_t(&self, dense: &Tensor) -> Tensor {
         assert_eq!(
             self.rows,
@@ -221,6 +301,15 @@ impl Csr {
             dense.rows(),
             dense.cols()
         );
+        self.transposed().spmm(dense)
+    }
+
+    /// The original scatter-form `selfᵀ · dense`, kept (not wired anywhere)
+    /// as the independent reference implementation for the
+    /// gather-equals-scatter bitwise equivalence test.
+    #[doc(hidden)]
+    pub fn spmm_t_scatter(&self, dense: &Tensor) -> Tensor {
+        assert_eq!(self.rows, dense.rows(), "spmm_t_scatter: shape mismatch");
         let d = dense.cols();
         let mut out = Tensor::zeros(self.cols, d);
         for i in 0..self.rows {
@@ -243,13 +332,23 @@ impl Csr {
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(self.cols, x.len(), "spmv: dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let mut acc = 0.0;
-            for (j, v) in self.row(i) {
-                acc += v * x[j as usize];
-            }
-            out[i] = acc;
-        }
+        let (indptr, indices, values) = (&self.indptr, &self.indices, &self.values);
+        lasagne_par::par_csr_row_chunks_mut(
+            &mut out,
+            1,
+            indptr,
+            lasagne_par::DEFAULT_CSR_CHUNK_NNZ,
+            |i0, chunk| {
+                for (r, o) in chunk.iter_mut().enumerate() {
+                    let i = i0 + r;
+                    let mut acc = 0.0;
+                    for e in indptr[i]..indptr[i + 1] {
+                        acc += values[e] * x[indices[e] as usize];
+                    }
+                    *o = acc;
+                }
+            },
+        );
         out
     }
 
@@ -280,6 +379,7 @@ impl Csr {
             indptr,
             indices,
             values,
+            t_cache: OnceLock::new(),
         }
     }
 
@@ -387,6 +487,28 @@ mod tests {
     #[test]
     fn row_sums_are_weighted_degrees() {
         assert_eq!(sample().row_sums(), vec![2.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn transposed_is_cached_and_invalidated_by_values_mut() {
+        let mut m = sample();
+        let first: *const Csr = m.transposed();
+        let second: *const Csr = m.transposed();
+        assert_eq!(first, second, "second call must hit the cache");
+        assert_eq!(m.transposed(), &m.transpose());
+        // Reweighting must rebuild the transpose with the new values.
+        m.values_mut()[0] = 10.0;
+        assert_eq!(m.transposed(), &m.transpose());
+        assert!(m.transposed().values().contains(&10.0));
+    }
+
+    #[test]
+    fn clone_and_eq_ignore_the_transpose_cache() {
+        let m = sample();
+        let _ = m.transposed();
+        let c = m.clone();
+        assert_eq!(m, c, "cache must not affect equality");
+        assert_eq!(c.transposed(), &c.transpose());
     }
 
     #[test]

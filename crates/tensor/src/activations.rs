@@ -1,7 +1,12 @@
 //! Nonlinearities and the numerically-stable row-wise softmax family used by
 //! Eq (2) of the paper (`softmax` applied row-wise over class logits).
+//!
+//! The element-wise nonlinearities inherit chunk-parallelism from
+//! [`Tensor::map`]; the softmax family is row-independent, so it fans rows
+//! out in fixed chunks — per-row arithmetic is untouched, keeping the bits
+//! identical at any thread count.
 
-use crate::Tensor;
+use crate::{par_row_chunk, Tensor};
 
 impl Tensor {
     /// `max(0, x)` element-wise.
@@ -27,35 +32,45 @@ impl Tensor {
     /// Row-wise softmax, stabilized by subtracting the row max.
     pub fn softmax_rows(&self) -> Tensor {
         let mut out = self.clone();
-        for i in 0..out.rows {
-            let row = out.row_mut(i);
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut s = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - m).exp();
-                s += *v;
-            }
-            if s > 0.0 {
-                let inv = 1.0 / s;
+        let cols = out.cols;
+        if cols == 0 {
+            return out;
+        }
+        lasagne_par::par_row_chunks_mut(&mut out.data, cols, par_row_chunk(cols), |_, chunk| {
+            for row in chunk.chunks_mut(cols) {
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut s = 0.0;
                 for v in row.iter_mut() {
-                    *v *= inv;
+                    *v = (*v - m).exp();
+                    s += *v;
+                }
+                if s > 0.0 {
+                    let inv = 1.0 / s;
+                    for v in row.iter_mut() {
+                        *v *= inv;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// Row-wise log-softmax, stabilized by subtracting the row max.
     pub fn log_softmax_rows(&self) -> Tensor {
         let mut out = self.clone();
-        for i in 0..out.rows {
-            let row = out.row_mut(i);
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let lse = m + row.iter().map(|v| (v - m).exp()).sum::<f32>().ln();
-            for v in row.iter_mut() {
-                *v -= lse;
-            }
+        let cols = out.cols;
+        if cols == 0 {
+            return out;
         }
+        lasagne_par::par_row_chunks_mut(&mut out.data, cols, par_row_chunk(cols), |_, chunk| {
+            for row in chunk.chunks_mut(cols) {
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let lse = m + row.iter().map(|v| (v - m).exp()).sum::<f32>().ln();
+                for v in row.iter_mut() {
+                    *v -= lse;
+                }
+            }
+        });
         out
     }
 }

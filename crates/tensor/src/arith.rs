@@ -1,7 +1,14 @@
 //! Element-wise arithmetic: out-of-place binary ops, in-place accumulation
 //! variants used by the autograd tape, and scalar ops.
+//!
+//! Every kernel here is element-independent, so all of them chunk the flat
+//! buffer into fixed [`crate::PAR_CHUNK`]-element spans on the
+//! `lasagne-par` pool: small tensors collapse to one chunk (pure inline
+//! execution), big ones — feature matrices, hidden activations, their
+//! gradients — fan out, and the output bits never depend on the thread
+//! count.
 
-use crate::Tensor;
+use crate::{Tensor, PAR_CHUNK};
 
 macro_rules! binary_op {
     ($(#[$doc:meta])* $name:ident, $op:tt) => {
@@ -14,12 +21,17 @@ macro_rules! binary_op {
                 self.shape(),
                 other.shape()
             );
-            let data = self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(a, b)| a $op b)
-                .collect();
+            let mut data = vec![0.0f32; self.data.len()];
+            let (a, b) = (&self.data, &other.data);
+            lasagne_par::par_row_chunks_mut(&mut data, 1, PAR_CHUNK, |i0, chunk| {
+                let len = chunk.len();
+                for (o, (x, y)) in chunk
+                    .iter_mut()
+                    .zip(a[i0..i0 + len].iter().zip(&b[i0..i0 + len]))
+                {
+                    *o = x $op y;
+                }
+            });
             Tensor { rows: self.rows, cols: self.cols, data }
         }
     };
@@ -46,9 +58,13 @@ impl Tensor {
     /// `self += other`, in place.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        let b = &other.data;
+        lasagne_par::par_row_chunks_mut(&mut self.data, 1, PAR_CHUNK, |i0, chunk| {
+            let len = chunk.len();
+            for (a, &v) in chunk.iter_mut().zip(&b[i0..i0 + len]) {
+                *a += v;
+            }
+        });
     }
 
     /// `self += alpha * other`, in place (axpy).
@@ -58,9 +74,13 @@ impl Tensor {
             other.shape(),
             "add_scaled_assign: shape mismatch"
         );
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        let b = &other.data;
+        lasagne_par::par_row_chunks_mut(&mut self.data, 1, PAR_CHUNK, |i0, chunk| {
+            let len = chunk.len();
+            for (a, &v) in chunk.iter_mut().zip(&b[i0..i0 + len]) {
+                *a += alpha * v;
+            }
+        });
     }
 
     /// `alpha * self`, out of place.
@@ -70,9 +90,7 @@ impl Tensor {
 
     /// `alpha * self`, in place.
     pub fn scale_assign(&mut self, alpha: f32) {
-        for v in &mut self.data {
-            *v *= alpha;
-        }
+        self.map_assign(|v| v * alpha);
     }
 
     /// `self + alpha` element-wise.
@@ -81,19 +99,25 @@ impl Tensor {
     }
 
     /// Apply `f` to every element, out of place.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut data = vec![0.0f32; self.data.len()];
+        let src = &self.data;
+        lasagne_par::par_row_chunks_mut(&mut data, 1, PAR_CHUNK, |i0, chunk| {
+            let len = chunk.len();
+            for (o, &v) in chunk.iter_mut().zip(&src[i0..i0 + len]) {
+                *o = f(v);
+            }
+        });
+        Tensor { rows: self.rows, cols: self.cols, data }
     }
 
     /// Apply `f` to every element, in place.
-    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
-            *v = f(*v);
-        }
+    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        lasagne_par::par_row_chunks_mut(&mut self.data, 1, PAR_CHUNK, |_, chunk| {
+            for v in chunk {
+                *v = f(*v);
+            }
+        });
     }
 
     /// Element-wise square.
@@ -113,7 +137,7 @@ impl Tensor {
 
     /// Fill every element with `value`.
     pub fn fill(&mut self, value: f32) {
-        self.data.iter_mut().for_each(|v| *v = value);
+        self.map_assign(|_| value);
     }
 
     /// Rescale in place so the Frobenius norm does not exceed `max_norm`

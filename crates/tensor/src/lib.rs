@@ -30,5 +30,19 @@ mod tensor;
 pub use init::TensorRng;
 pub use tensor::{Tensor, TensorError};
 
+/// Fixed chunk size (in `f32` elements, or in flops for the matmul row
+/// partitioner) shared by every parallel kernel in this crate. One constant
+/// everywhere keeps the determinism contract auditable: chunk boundaries
+/// are a function of the tensor shape and this constant only — never of the
+/// thread count (`lasagne-par` docs, DESIGN.md §8).
+pub(crate) const PAR_CHUNK: usize = 1 << 16;
+
+/// Rows per parallel chunk for a kernel doing ≈`work_per_row` flops per
+/// output row: targets [`PAR_CHUNK`] flops per chunk so small tensors stay
+/// on the inline path and big ones split finely enough to balance.
+pub(crate) fn par_row_chunk(work_per_row: usize) -> usize {
+    (PAR_CHUNK / work_per_row.max(1)).max(1)
+}
+
 /// Convenience result alias for fallible tensor constructors.
 pub type Result<T> = std::result::Result<T, TensorError>;

@@ -7,13 +7,53 @@
 //! * `matmul_nt` — `C = A · Bᵀ` (input gradients)
 //!
 //! All use orderings whose inner loop runs over contiguous slices so LLVM
-//! vectorizes them. `matmul` and `matmul_tn` skip zero multipliers, which is
-//! a large win on the sparse one-hot-ish feature matrices GNN inputs tend to
-//! be.
+//! vectorizes them, and all three partition their *output rows* into fixed
+//! chunks executed on the `lasagne-par` pool — each chunk writes a disjoint
+//! row range and accumulates in the serial order, so results are bitwise
+//! identical at any thread count (DESIGN.md §8).
+//!
+//! `matmul` and `matmul_tn` skip zero multipliers, which is a large win on
+//! the sparse one-hot-ish feature matrices GNN inputs tend to be — but the
+//! branch costs real time on dense hidden-layer activations where it never
+//! fires, so both kernels gate it on a cheap strided density probe of the
+//! left operand.
 
-use crate::Tensor;
+use crate::{par_row_chunk, Tensor};
+
+/// `o += a * b` over a contiguous row — the vectorized inner loop of all
+/// three kernels.
+#[inline]
+fn axpy(o: &mut [f32], a: f32, b: &[f32]) {
+    for (o, &b) in o.iter_mut().zip(b) {
+        *o += a * b;
+    }
+}
 
 impl Tensor {
+    /// Deterministic strided sample of up to 64 elements: does this matrix
+    /// hold enough exact zeros (≥ ¼ of the sample) that the zero-skip
+    /// branch in the matmul inner loops pays for itself? One-hot-ish
+    /// feature matrices say yes; dense activations say no.
+    fn looks_sparse(&self) -> bool {
+        const SAMPLES: usize = 64;
+        let len = self.data.len();
+        if len == 0 {
+            return false;
+        }
+        let step = (len / SAMPLES).max(1);
+        let mut zeros = 0usize;
+        let mut total = 0usize;
+        let mut i = 0;
+        while i < len && total < SAMPLES {
+            if self.data[i] == 0.0 {
+                zeros += 1;
+            }
+            total += 1;
+            i += step;
+        }
+        zeros * 4 >= total
+    }
+
     /// `self · other`. Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
@@ -23,24 +63,40 @@ impl Tensor {
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(n, m);
-        for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out.data[i * m..(i + 1) * m];
-            for (kk, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * m..(kk + 1) * m];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += aik * b;
+        if n == 0 || m == 0 {
+            return out;
+        }
+        let skip = self.looks_sparse();
+        let (a, b) = (&self.data, &other.data);
+        lasagne_par::par_row_chunks_mut(&mut out.data, m, par_row_chunk(k * m), |i0, chunk| {
+            for (r, o_row) in chunk.chunks_mut(m).enumerate() {
+                let i = i0 + r;
+                let a_row = &a[i * k..(i + 1) * k];
+                if skip {
+                    for (kk, &aik) in a_row.iter().enumerate() {
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        axpy(o_row, aik, &b[kk * m..(kk + 1) * m]);
+                    }
+                } else {
+                    for (kk, &aik) in a_row.iter().enumerate() {
+                        axpy(o_row, aik, &b[kk * m..(kk + 1) * m]);
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// `selfᵀ · other` without forming the transpose.
     /// Panics if `self.rows != other.rows`.
+    ///
+    /// Gathers over *output* rows (columns of `self`) in blocks so the
+    /// kernel row-partitions cleanly for the pool: each block streams
+    /// `self` row-contiguously and keeps its output block cache-hot, and
+    /// each output element still accumulates over input rows in ascending
+    /// order — exactly the serial scatter order.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.rows, other.rows,
@@ -49,19 +105,33 @@ impl Tensor {
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(k, m);
-        for row in 0..n {
-            let a_row = &self.data[row * k..(row + 1) * k];
-            let b_row = &other.data[row * m..(row + 1) * m];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out.data[i * m..(i + 1) * m];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        if n == 0 || k == 0 || m == 0 {
+            return out;
+        }
+        let skip = self.looks_sparse();
+        let (a, b) = (&self.data, &other.data);
+        // ≤ 16 column blocks of ≥ 16 columns: bounds the extra streaming of
+        // `other` (once per block) while exposing enough chunks to balance.
+        let chunk_rows = k.div_ceil(16).max(16);
+        lasagne_par::par_row_chunks_mut(&mut out.data, m, chunk_rows, |i0, chunk| {
+            let cw = chunk.len() / m;
+            for row in 0..n {
+                let a_seg = &a[row * k + i0..row * k + i0 + cw];
+                let b_row = &b[row * m..(row + 1) * m];
+                if skip {
+                    for (r, &av) in a_seg.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        axpy(&mut chunk[r * m..(r + 1) * m], av, b_row);
+                    }
+                } else {
+                    for (r, &av) in a_seg.iter().enumerate() {
+                        axpy(&mut chunk[r * m..(r + 1) * m], av, b_row);
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -75,18 +145,23 @@ impl Tensor {
         );
         let (n, k, m) = (self.rows, self.cols, other.rows);
         let mut out = Tensor::zeros(n, m);
-        for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out.data[i * m..(i + 1) * m];
-            for (j, o) in o_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
+        if n == 0 || m == 0 {
+            return out;
         }
+        let (a, b) = (&self.data, &other.data);
+        lasagne_par::par_row_chunks_mut(&mut out.data, m, par_row_chunk(k * m), |i0, chunk| {
+            for (r, o_row) in chunk.chunks_mut(m).enumerate() {
+                let a_row = &a[(i0 + r) * k..(i0 + r + 1) * k];
+                for (j, o) in o_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&x, &y) in a_row.iter().zip(b_row) {
+                        acc += x * y;
+                    }
+                    *o = acc;
+                }
+            }
+        });
         out
     }
 
@@ -140,6 +215,14 @@ mod tests {
     }
 
     #[test]
+    fn tn_equals_explicit_transpose_beyond_one_block() {
+        // > 16 columns exercises the block partitioner's interior bounds.
+        let a = Tensor::from_fn(9, 37, |i, j| ((i * 37 + j) % 7) as f32 - 3.0);
+        let b = Tensor::from_fn(9, 5, |i, j| (i as f32) * 0.3 - j as f32);
+        assert!(a.matmul_tn(&b).approx_eq(&a.transpose().matmul(&b), 1e-4));
+    }
+
+    #[test]
     fn nt_equals_explicit_transpose() {
         let a = Tensor::from_fn(2, 5, |i, j| (i + j) as f32 * 0.25);
         let b = Tensor::from_fn(3, 5, |i, j| (i as f32) - 0.1 * j as f32);
@@ -148,11 +231,37 @@ mod tests {
 
     #[test]
     fn zero_skip_does_not_change_result() {
-        // Sparse-ish A with many exact zeros exercises the `continue` branch.
+        // The probe sends ≥-¼-zeros matrices down the skip path and dense
+        // ones down the no-branch path; both must match a naive triple
+        // loop.
         let a = Tensor::from_fn(5, 5, |i, j| if (i + j) % 3 == 0 { 1.5 } else { 0.0 });
+        let dense_a = Tensor::from_fn(5, 5, |i, j| if (i + j) % 3 == 0 { 1.5 } else { 7.0 });
+        assert!(a.looks_sparse());
+        assert!(!dense_a.looks_sparse());
         let b = Tensor::from_fn(5, 4, |i, j| (i * 4 + j) as f32);
-        let dense = a.transpose().transpose(); // same values, same code path
-        assert!(a.matmul(&b).approx_eq(&dense.matmul(&b), 1e-6));
+        let reference = |l: &Tensor, r: &Tensor| {
+            let mut out = Tensor::zeros(l.rows(), r.cols());
+            for i in 0..l.rows() {
+                for kk in 0..l.cols() {
+                    for j in 0..r.cols() {
+                        out[(i, j)] += l.get(i, kk) * r.get(kk, j);
+                    }
+                }
+            }
+            out
+        };
+        assert!(a.matmul(&b).approx_eq(&reference(&a, &b), 1e-6));
+        assert!(dense_a.matmul(&b).approx_eq(&reference(&dense_a, &b), 1e-6));
+    }
+
+    #[test]
+    fn density_probe_classifies_extremes() {
+        assert!(Tensor::zeros(8, 8).looks_sparse());
+        assert!(!Tensor::ones(8, 8).looks_sparse());
+        assert!(!Tensor::zeros(0, 0).looks_sparse());
+        // One-hot rows: exactly one nonzero in 16 columns.
+        let onehot = Tensor::from_fn(32, 16, |i, j| if i % 16 == j { 1.0 } else { 0.0 });
+        assert!(onehot.looks_sparse());
     }
 
     #[test]

@@ -1,12 +1,26 @@
 //! Reductions: full, per-row, and per-column sums/means/extrema, plus
 //! row-wise argmax (classification decisions) and norms.
+//!
+//! Cross-element reductions (`sum`, `sum_rows`, `frobenius_norm`) always
+//! reduce over the same fixed [`PAR_CHUNK`]-element chunk tree — partials
+//! per chunk, folded in chunk order — so the float result is bitwise
+//! identical whether the partials were computed by one thread or eight.
+//! Per-row reductions (`sum_cols`, `row_sq_norms`, `argmax_rows`) are
+//! independent per output element and just fan rows out. `max`/`min` and
+//! `has_non_finite` stay serial: the first two are order-exact anyway, the
+//! last wants its early exit.
 
-use crate::Tensor;
+use crate::{par_row_chunk, Tensor, PAR_CHUNK};
 
 impl Tensor {
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        let data = &self.data;
+        lasagne_par::parallel_map_chunks(data.len(), PAR_CHUNK, |_, r| {
+            data[r].iter().sum::<f32>()
+        })
+        .into_iter()
+        .fold(0.0, |acc, p| acc + p)
     }
 
     /// Mean of all elements (0.0 for an empty tensor).
@@ -21,8 +35,23 @@ impl Tensor {
     /// Per-column sums as a `1 x D` row vector.
     pub fn sum_rows(&self) -> Tensor {
         let mut out = Tensor::zeros(1, self.cols);
-        for i in 0..self.rows {
-            for (o, &v) in out.data.iter_mut().zip(self.row(i)) {
+        if self.cols == 0 {
+            return out;
+        }
+        let cols = self.cols;
+        let data = &self.data;
+        let partials =
+            lasagne_par::parallel_map_chunks(self.rows, par_row_chunk(cols), |_, r| {
+                let mut p = vec![0.0f32; cols];
+                for row in data[r.start * cols..r.end * cols].chunks(cols) {
+                    for (o, &v) in p.iter_mut().zip(row) {
+                        *o += v;
+                    }
+                }
+                p
+            });
+        for p in partials {
+            for (o, v) in out.data.iter_mut().zip(p) {
                 *o += v;
             }
         }
@@ -31,14 +60,15 @@ impl Tensor {
 
     /// Per-row sums as an `N x 1` column vector.
     pub fn sum_cols(&self) -> Tensor {
-        let data = (0..self.rows)
-            .map(|i| self.row(i).iter().sum())
-            .collect();
-        Tensor {
-            rows: self.rows,
-            cols: 1,
-            data,
-        }
+        let mut out = Tensor::zeros(self.rows, 1);
+        let cols = self.cols;
+        let data = &self.data;
+        lasagne_par::par_row_chunks_mut(&mut out.data, 1, par_row_chunk(cols), |i0, chunk| {
+            for (r, o) in chunk.iter_mut().enumerate() {
+                *o = data[(i0 + r) * cols..(i0 + r + 1) * cols].iter().sum();
+            }
+        });
+        out
     }
 
     /// Per-column means as a `1 x D` row vector.
@@ -71,23 +101,36 @@ impl Tensor {
 
     /// Index of the largest element in each row (first one wins on ties).
     pub fn argmax_rows(&self) -> Vec<usize> {
-        (0..self.rows)
-            .map(|i| {
-                let row = self.row(i);
+        let mut out = vec![0usize; self.rows];
+        if self.cols == 0 {
+            return out;
+        }
+        let cols = self.cols;
+        let data = &self.data;
+        lasagne_par::par_row_chunks_mut(&mut out, 1, par_row_chunk(cols), |i0, chunk| {
+            for (r, o) in chunk.iter_mut().enumerate() {
+                let row = &data[(i0 + r) * cols..(i0 + r + 1) * cols];
                 let mut best = 0;
                 for (j, &v) in row.iter().enumerate() {
                     if v > row[best] {
                         best = j;
                     }
                 }
-                best
-            })
-            .collect()
+                *o = best;
+            }
+        });
+        out
     }
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+        let data = &self.data;
+        lasagne_par::parallel_map_chunks(data.len(), PAR_CHUNK, |_, r| {
+            data[r].iter().map(|v| v * v).sum::<f32>()
+        })
+        .into_iter()
+        .fold(0.0, |acc, p| acc + p)
+        .sqrt()
     }
 
     /// True if any element is NaN or ±Inf.
@@ -109,14 +152,18 @@ impl Tensor {
 
     /// Squared L2 norm of each row, as an `N x 1` column vector.
     pub fn row_sq_norms(&self) -> Tensor {
-        let data = (0..self.rows)
-            .map(|i| self.row(i).iter().map(|v| v * v).sum())
-            .collect();
-        Tensor {
-            rows: self.rows,
-            cols: 1,
-            data,
-        }
+        let mut out = Tensor::zeros(self.rows, 1);
+        let cols = self.cols;
+        let data = &self.data;
+        lasagne_par::par_row_chunks_mut(&mut out.data, 1, par_row_chunk(cols), |i0, chunk| {
+            for (r, o) in chunk.iter_mut().enumerate() {
+                *o = data[(i0 + r) * cols..(i0 + r + 1) * cols]
+                    .iter()
+                    .map(|v| v * v)
+                    .sum();
+            }
+        });
+        out
     }
 }
 

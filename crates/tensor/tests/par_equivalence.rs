@@ -1,0 +1,91 @@
+//! Property tests for the `lasagne-par` determinism contract on the dense
+//! kernels: every parallel result must be **bitwise** identical to the
+//! single-threaded one, for thread counts that tile the chunk space evenly
+//! and unevenly.
+//!
+//! Everything lives in one `#[test]` because the pool's thread count is
+//! process-global: concurrently running tests sweeping `set_threads` would
+//! race each other into vacuity.
+
+use lasagne_tensor::Tensor;
+use lasagne_testkit::gens::{dense, Dense};
+use lasagne_testkit::prop::{check, Config};
+
+const SWEEP: [usize; 3] = [2, 3, 7];
+
+fn tensor_of(d: &Dense) -> Tensor {
+    Tensor::from_vec(d.rows, d.cols, d.data.clone()).expect("gen produces consistent shapes")
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Run `compute` at one thread, then at each sweep count, asserting bitwise
+/// equality throughout.
+fn invariant(label: &str, compute: impl Fn() -> Vec<u32>) -> Result<(), String> {
+    lasagne_par::set_threads(1);
+    let baseline = compute();
+    for &t in &SWEEP {
+        lasagne_par::set_threads(t);
+        if compute() != baseline {
+            return Err(format!("{label}: bits changed at {t} threads"));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn dense_kernels_bitwise_invariant_across_thread_counts() {
+    // Elementwise/reduction kernels chunk the flat buffer in 2^16-element
+    // spans, so the shapes must clear ~65k elements to exercise more than
+    // one chunk; the matmul/softmax row partitioners split far earlier.
+    let cfg = Config::cases(4);
+    check(
+        "big_elementwise_and_reductions",
+        &cfg,
+        &(dense(620..760, 95..110, -2.0, 2.0),),
+        |(d,)| {
+            let a = tensor_of(d);
+            let b = a.map(|v| (v * 1.3).sin());
+            invariant("add", || bits(&a.add(&b)))?;
+            invariant("mul", || bits(&a.mul(&b)))?;
+            invariant("map", || bits(&a.map(|v| v.exp() - 0.5)))?;
+            invariant("add_scaled_assign", || {
+                let mut c = a.clone();
+                c.add_scaled_assign(0.37, &b);
+                bits(&c)
+            })?;
+            invariant("softmax_rows", || bits(&a.softmax_rows()))?;
+            invariant("log_softmax_rows", || bits(&a.log_softmax_rows()))?;
+            invariant("sum_rows", || bits(&a.sum_rows()))?;
+            invariant("sum_cols", || bits(&a.sum_cols()))?;
+            invariant("row_sq_norms", || bits(&a.row_sq_norms()))?;
+            invariant("sum", || vec![a.sum().to_bits()])?;
+            invariant("frobenius_norm", || vec![a.frobenius_norm().to_bits()])?;
+            invariant("argmax_rows", || {
+                a.argmax_rows().iter().map(|&i| i as u32).collect()
+            })?;
+            Ok(())
+        },
+    );
+
+    // The three matmul variants row-chunk at 2^16 flops, so modest shapes
+    // already span several chunks; random shapes also cover the uneven
+    // trailing-chunk edge.
+    let cfg = Config::cases(8);
+    check(
+        "matmul_family",
+        &cfg,
+        &(dense(40..120, 20..70, -1.0, 1.0), 2usize..50),
+        |(d, m)| {
+            let a = tensor_of(d);
+            let b = Tensor::from_fn(a.cols(), *m, |i, j| ((i * 31 + j * 7) % 13) as f32 - 6.0);
+            let g = Tensor::from_fn(a.rows(), *m, |i, j| ((i * 17 + j * 3) % 11) as f32 * 0.25);
+            invariant("matmul", || bits(&a.matmul(&b)))?;
+            invariant("matmul_tn", || bits(&a.matmul_tn(&g)))?;
+            invariant("matmul_nt", || bits(&a.matmul_nt(&b.transpose())))?;
+            Ok(())
+        },
+    );
+}

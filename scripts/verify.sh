@@ -18,4 +18,21 @@ cargo test -q --offline -p lasagne-train --test fault_injection
 echo "== release CLI links with --resume/--max-recoveries/--clip-norm =="
 cargo run --release --offline --bin lasagne-cli -- --list > /dev/null
 
+echo "== determinism across thread counts (LASAGNE_THREADS=1 vs 4) =="
+# The kernel suites under both pool sizes...
+LASAGNE_THREADS=1 cargo test -q --offline -p lasagne-tensor -p lasagne-sparse
+LASAGNE_THREADS=4 cargo test -q --offline -p lasagne-tensor -p lasagne-sparse
+# ...and a short end-to-end training run: the saved checkpoints must be
+# byte-identical (same JSON, same bits) whatever the thread count.
+LASAGNE_THREADS=1 cargo run --release --offline --bin lasagne-cli -- \
+    cora gcn --epochs 3 --save target/verify_t1.ckpt.json > /dev/null
+LASAGNE_THREADS=4 cargo run --release --offline --bin lasagne-cli -- \
+    cora gcn --epochs 3 --save target/verify_t4.ckpt.json > /dev/null
+cmp target/verify_t1.ckpt.json target/verify_t4.ckpt.json
+
+echo "== kernels bench smoke (tiny shapes, JSON artifact) =="
+cargo run --release --offline -p lasagne-bench --bin kernels -- \
+    --smoke --out target/BENCH_kernels.smoke.json > /dev/null
+test -s target/BENCH_kernels.smoke.json
+
 echo "verify: OK"

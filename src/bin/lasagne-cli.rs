@@ -13,6 +13,10 @@
 //! bit-identically instead of starting over. `--max-recoveries` bounds how
 //! many divergence rollbacks (with LR halving) a run may consume, and
 //! `--clip-norm` bounds the global gradient norm.
+//!
+//! `--threads N` sizes the `lasagne-par` kernel pool (overriding
+//! `LASAGNE_THREADS` and the core count). By the determinism contract
+//! (DESIGN.md §8) it changes wall-clock only — never a single output bit.
 
 use lasagne::prelude::*;
 use lasagne_train::save_params;
@@ -28,6 +32,7 @@ struct Args {
     resume: Option<std::path::PathBuf>,
     max_recoveries: Option<usize>,
     clip_norm: Option<f32>,
+    threads: Option<usize>,
 }
 
 const MODELS: &[&str] = &[
@@ -38,7 +43,7 @@ const MODELS: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!("usage: lasagne-cli <dataset> <model> [--depth N] [--seeds N] [--epochs N] [--data-seed N] [--save PATH]");
-    eprintln!("                   [--resume PATH] [--max-recoveries N] [--clip-norm X]");
+    eprintln!("                   [--resume PATH] [--max-recoveries N] [--clip-norm X] [--threads N]");
     eprintln!("       lasagne-cli --list");
     eprintln!("datasets: {}", DatasetId::all().map(|d| d.name()).join(", "));
     eprintln!("models:   {}", MODELS.join(", "));
@@ -75,6 +80,7 @@ fn parse_args() -> Args {
         resume: None,
         max_recoveries: None,
         clip_norm: None,
+        threads: None,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -91,6 +97,10 @@ fn parse_args() -> Args {
                 args.max_recoveries = Some(value.parse().unwrap_or_else(|_| usage()))
             }
             "--clip-norm" => args.clip_norm = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--threads" => {
+                args.threads =
+                    Some(value.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| usage()))
+            }
             _ => usage(),
         }
         i += 2;
@@ -132,6 +142,9 @@ fn build(model: &str, ds: &Dataset, hyper: &Hyper, seed: u64) -> Box<dyn NodeCla
 
 fn main() {
     let args = parse_args();
+    if let Some(n) = args.threads {
+        lasagne_par::set_threads(n);
+    }
     let ds = Dataset::generate(args.dataset, args.data_seed);
     println!(
         "{}: {} nodes, {} edges, {} classes (train/val/test = {}/{}/{})",
