@@ -37,14 +37,41 @@ pub fn grad_check(
     eps: f32,
     mut forward: impl FnMut(&mut Tape, &ParamStore) -> crate::NodeId,
 ) -> GradCheckReport {
+    grad_check_owner(store, |s| s, |_| false, eps, |s, tape| forward(tape, s))
+}
+
+/// [`grad_check`] generalized to an *owner* of a `ParamStore` — a model
+/// whose `forward` needs `&self` while the checker perturbs parameters
+/// through `&mut self`. Plain [`grad_check`] cannot express that: the store
+/// borrow and the model borrow collide.
+///
+/// `store_of` projects the owner onto its store; `skip` drops whole
+/// parameters by name from the sweep — for parameters whose analytic
+/// gradient *intentionally* differs from the numeric one (e.g. a
+/// stop-gradient path like the stochastic aggregator's row-max
+/// stabilizer). `forward` must be deterministic given the owner's current
+/// parameter values (reseed any RNG it consumes per call).
+pub fn grad_check_owner<M: ?Sized>(
+    owner: &mut M,
+    store_of: impl Fn(&mut M) -> &mut ParamStore,
+    skip: impl Fn(&str) -> bool,
+    eps: f32,
+    mut forward: impl FnMut(&M, &mut Tape) -> crate::NodeId,
+) -> GradCheckReport {
     // Analytic pass.
-    store.zero_grads();
+    store_of(owner).zero_grads();
     let mut tape = Tape::new();
-    let loss = forward(&mut tape, store);
-    tape.backward(loss, store);
-    let analytic: Vec<Vec<f32>> = (0..store.len())
-        .map(|i| store.grad(ParamId(i)).as_slice().to_vec())
-        .collect();
+    let loss = forward(owner, &mut tape);
+    tape.backward(loss, store_of(owner));
+    let (n_params, analytic, skipped) = {
+        let store = store_of(owner);
+        let n = store.len();
+        let analytic: Vec<Vec<f32>> = (0..n)
+            .map(|i| store.grad(ParamId(i)).as_slice().to_vec())
+            .collect();
+        let skipped: Vec<bool> = (0..n).map(|i| skip(store.name(ParamId(i)))).collect();
+        (n, analytic, skipped)
+    };
 
     let mut report = GradCheckReport {
         max_abs_err: 0.0,
@@ -52,23 +79,26 @@ pub fn grad_check(
         checked: 0,
     };
 
-    for p in 0..store.len() {
+    for p in 0..n_params {
+        if skipped[p] {
+            continue;
+        }
         let id = ParamId(p);
-        let n = store.value(id).len();
+        let n = store_of(owner).value(id).len();
         for k in 0..n {
-            let orig = store.value(id).as_slice()[k];
+            let orig = store_of(owner).value(id).as_slice()[k];
 
-            store.value_mut(id).as_mut_slice()[k] = orig + eps;
+            store_of(owner).value_mut(id).as_mut_slice()[k] = orig + eps;
             let mut t1 = Tape::new();
-            let l1 = forward(&mut t1, store);
+            let l1 = forward(owner, &mut t1);
             let f_plus = t1.value(l1).get(0, 0);
 
-            store.value_mut(id).as_mut_slice()[k] = orig - eps;
+            store_of(owner).value_mut(id).as_mut_slice()[k] = orig - eps;
             let mut t2 = Tape::new();
-            let l2 = forward(&mut t2, store);
+            let l2 = forward(owner, &mut t2);
             let f_minus = t2.value(l2).get(0, 0);
 
-            store.value_mut(id).as_mut_slice()[k] = orig;
+            store_of(owner).value_mut(id).as_mut_slice()[k] = orig;
 
             let numeric = (f_plus - f_minus) / (2.0 * eps);
             let a = analytic[p][k];

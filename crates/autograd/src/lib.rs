@@ -50,7 +50,7 @@ mod params;
 mod schedule;
 mod tape;
 
-pub use gradcheck::{grad_check, GradCheckReport};
+pub use gradcheck::{grad_check, grad_check_owner, GradCheckReport};
 pub use optim::{Adam, AdamState, Optimizer, Sgd};
 pub use schedule::{clip_grad_norm, ConstantLr, LinearWarmup, LrSchedule, StepDecay};
 pub use params::{ParamId, ParamStore};

@@ -22,6 +22,7 @@
 
 use std::hint::black_box;
 
+use lasagne_obs::{SpanGuard, TraceSink};
 use lasagne_sparse::Csr;
 use lasagne_tensor::{Tensor, TensorRng};
 use lasagne_testkit::bench::bench_with;
@@ -148,9 +149,28 @@ fn measure(
     });
 }
 
+/// Median cost of one *disabled* span probe in nanoseconds. The overhead
+/// contract (DESIGN.md §9) says instrumentation without an active sink is a
+/// single relaxed atomic load — this measures it so the bench can assert it
+/// stays within noise of the cheapest hot kernel.
+fn disabled_span_cost_ns() -> f64 {
+    const ITERS: u64 = 1_000_000;
+    assert!(!lasagne_obs::enabled(), "probe must run with tracing disabled");
+    let r = bench_with("obs_disabled_span", 2, 7, || {
+        for _ in 0..ITERS {
+            let g = SpanGuard::enter("probe");
+            black_box(&g);
+        }
+    });
+    r.median_seconds() * 1e9 / ITERS as f64
+}
+
 fn main() {
     let cfg = parse_args();
     let mut rng = TensorRng::seed_from_u64(7);
+
+    let span_ns = disabled_span_cost_ns();
+    println!("obs disabled-span probe: {span_ns:.2} ns/span");
 
     // (label, nodes, random edges) per graph; hidden widths swept per kernel.
     let (graphs, dims): (Vec<(&str, usize, usize)>, Vec<usize>) = if cfg.smoke {
@@ -213,6 +233,41 @@ fn main() {
         });
     }
 
+    // Overhead contract: one disabled span must be ≤ 2% of the matmul
+    // median — i.e. within measurement noise of the cheapest dense kernel
+    // at its smallest benched shape.
+    let matmul_ns = entries
+        .iter()
+        .find(|e| e.kernel == "matmul")
+        .map(|e| e.serial_ms * 1e6)
+        .expect("matmul was benched");
+    assert!(
+        span_ns <= 0.02 * matmul_ns,
+        "disabled-path span overhead {span_ns:.2} ns exceeds 2% of the matmul \
+         median ({:.0} ns) — the single-atomic-load contract is broken",
+        matmul_ns
+    );
+
+    // Kernel-time breakdown: one traced pass of each wired kernel, run
+    // *after* the timed loops so the medians above never include an active
+    // sink. This is what gives BENCH_*.json rows a span/counter view.
+    let trace = {
+        let sink = TraceSink::start(false);
+        let (_, gn, ge) = graphs[0];
+        let a_hat = synthetic_a_hat(&mut rng, gn, ge);
+        let h = rng.uniform_tensor(gn, dims[0], -1.0, 1.0);
+        black_box(a_hat.spmm(&h));
+        black_box(a_hat.spmm_t(&h));
+        let (k, m) = mm_dims[0];
+        let a = rng.uniform_tensor(n, k, -1.0, 1.0);
+        let b = rng.uniform_tensor(k, m, -1.0, 1.0);
+        let g = rng.uniform_tensor(n, m, -1.0, 1.0);
+        black_box(a.matmul(&b));
+        black_box(a.matmul_tn(&g));
+        black_box(g.matmul_nt(&b));
+        sink.finish()
+    };
+
     let cores = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
     let json = Json::Obj(vec![
         ("bench".into(), Json::Str("kernels".into())),
@@ -221,6 +276,39 @@ fn main() {
         ("serial_threads".into(), Json::Num(1.0)),
         ("parallel_threads".into(), Json::Num(cfg.threads as f64)),
         ("samples".into(), Json::Num(cfg.samples as f64)),
+        ("obs_disabled_span_ns".into(), Json::Num(span_ns)),
+        ("obs_overhead_pct_of_matmul".into(), Json::Num(100.0 * span_ns / matmul_ns)),
+        (
+            "trace".into(),
+            Json::Obj(vec![
+                (
+                    "spans".into(),
+                    Json::Arr(
+                        trace
+                            .spans
+                            .iter()
+                            .map(|s| {
+                                Json::Obj(vec![
+                                    ("path".into(), Json::Str(s.path.clone())),
+                                    ("count".into(), Json::Num(s.count as f64)),
+                                    ("total_ns".into(), Json::Num(s.total_ns as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "counters".into(),
+                    Json::Obj(
+                        trace
+                            .counters
+                            .iter()
+                            .map(|(n, v)| (n.clone(), Json::Num(*v as f64)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
         (
             "entries".into(),
             Json::Arr(

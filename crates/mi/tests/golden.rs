@@ -1,0 +1,106 @@
+//! Golden tests pinning both MI estimators against closed-form cases.
+//!
+//! The histogram (plug-in) estimator is *exactly* computable on lattice
+//! inputs whose bin probabilities are powers of two — the f64 arithmetic
+//! inside `histogram_mi_2d` incurs no rounding there, so those cases are
+//! pinned tightly. The KSG estimator is a finite-sample kNN method; its
+//! goldens are the bivariate-Gaussian closed form `I = −½ ln(1 − ρ²)`
+//! within the estimator's known bias envelope, plus the two limits
+//! (independence → 0, near-functional dependence → saturation).
+
+use lasagne_mi::{histogram_entropy_1d, histogram_mi_2d, ksg_mi};
+use lasagne_tensor::{Tensor, TensorRng};
+
+const BINS: usize = 8;
+
+/// One sample per cell of the `BINS × BINS` product lattice.
+fn product_grid() -> (Vec<f32>, Vec<f32>) {
+    let mut xs = Vec::with_capacity(BINS * BINS);
+    let mut ys = Vec::with_capacity(BINS * BINS);
+    for i in 0..BINS {
+        for j in 0..BINS {
+            xs.push(i as f32);
+            ys.push(j as f32);
+        }
+    }
+    (xs, ys)
+}
+
+#[test]
+fn histogram_mi_product_grid_is_exactly_zero() {
+    // Joint = product of marginals ⇒ every term is p·ln(1). With 64
+    // samples and 8 bins all probabilities are exact binary fractions, so
+    // the estimator returns a literal 0.0, not merely something small.
+    let (xs, ys) = product_grid();
+    assert_eq!(histogram_mi_2d(&xs, &ys, BINS), 0.0);
+}
+
+#[test]
+fn histogram_mi_diagonal_grid_is_log_bins() {
+    // y = x on an 8-level lattice: the joint is diagonal, so
+    // I = H(X) = ln 8. Diagonal mass 1/8 and marginals 1/8 are exact, so
+    // only the final `ln` and the f64→f32 cast can deviate.
+    let xs: Vec<f32> = (0..8 * BINS).map(|i| (i % BINS) as f32).collect();
+    let mi = histogram_mi_2d(&xs, &xs, BINS);
+    assert!((mi - (BINS as f32).ln()).abs() < 1e-6, "I = {mi}");
+}
+
+#[test]
+fn histogram_entropy_uniform_grid_is_log_bins() {
+    let xs: Vec<f32> = (0..8 * BINS).map(|i| (i % BINS) as f32).collect();
+    let h = histogram_entropy_1d(&xs, BINS);
+    assert!((h - (BINS as f32).ln()).abs() < 1e-6, "H = {h}");
+}
+
+#[test]
+fn histogram_mi_never_exceeds_min_marginal_entropy() {
+    // I(X;Y) ≤ min(H(X), H(Y)) — checked on a skewed lattice where the
+    // bound is not tight, as a guard against sign/normalization slips.
+    let xs: Vec<f32> = (0..512).map(|i| ((i * i) % 97) as f32).collect();
+    let ys: Vec<f32> = (0..512).map(|i| ((i * 7) % 31) as f32).collect();
+    let mi = histogram_mi_2d(&xs, &ys, BINS);
+    let bound = histogram_entropy_1d(&xs, BINS).min(histogram_entropy_1d(&ys, BINS));
+    assert!(mi >= 0.0 && mi <= bound + 1e-6, "I {mi} vs bound {bound}");
+}
+
+fn gaussian_pair(n: usize, rho: f32, seed: u64) -> (Tensor, Tensor) {
+    let mut rng = TensorRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = rng.normal();
+        let b = rng.normal();
+        xs.push(a);
+        ys.push(rho * a + (1.0 - rho * rho).sqrt() * b);
+    }
+    (Tensor::col_vector(&xs), Tensor::col_vector(&ys))
+}
+
+#[test]
+fn ksg_independent_gaussians_are_near_zero() {
+    let (x, _) = gaussian_pair(1200, 0.0, 21);
+    let (y, _) = gaussian_pair(1200, 0.0, 22);
+    let est = ksg_mi(&x, &y, 4);
+    assert!(est.abs() < 0.05, "independent KSG MI {est}");
+}
+
+#[test]
+fn ksg_correlated_gaussians_match_closed_form() {
+    // ρ = 0.9 ⇒ I = −½ ln(1 − 0.81) ≈ 0.8304 nats.
+    let rho = 0.9f32;
+    let truth = -0.5 * (1.0 - rho * rho).ln();
+    let (x, y) = gaussian_pair(1500, rho, 23);
+    let est = ksg_mi(&x, &y, 4);
+    assert!((est - truth).abs() < 0.1, "est {est} vs truth {truth:.4}");
+}
+
+#[test]
+fn ksg_near_functional_dependence_saturates() {
+    // y = x + tiny jitter: true MI is huge; the estimate must blow well
+    // past anything a genuinely noisy pair produces.
+    let mut rng = TensorRng::seed_from_u64(24);
+    let xs: Vec<f32> = (0..1000).map(|_| rng.normal()).collect();
+    let ys: Vec<f32> = xs.iter().map(|&x| x + 1e-3 * rng.normal()).collect();
+    let est = ksg_mi(&Tensor::col_vector(&xs), &Tensor::col_vector(&ys), 4);
+    assert!(est > 2.0, "near-copy KSG MI {est}");
+}

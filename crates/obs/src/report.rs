@@ -1,0 +1,176 @@
+//! The aggregated trace artifact: flattened span rows + counters, with a
+//! JSONL serialization over the `lasagne-testkit` codec.
+//!
+//! # JSONL schema (one object per line)
+//!
+//! ```text
+//! {"type":"meta","version":1,"deterministic":false,"spans":N,"counters":M}
+//! {"type":"span","path":"epoch/forward/spmm","name":"spmm","depth":2,
+//!  "count":450,"total_ns":1234567,"self_ns":1200000}
+//! {"type":"counter","name":"spmm.nnz","value":5866200}
+//! ```
+//!
+//! Spans appear depth-first in tree insertion order; counters are sorted by
+//! name. Both orders — and every field except the `*_ns` durations — are a
+//! pure function of the traced workload, so the file is byte-deterministic
+//! modulo timings, and exactly byte-deterministic in deterministic mode.
+
+use std::path::Path;
+
+use lasagne_testkit::json::Json;
+
+/// One aggregated call-tree node: every invocation of `name` reached
+/// through the same chain of ancestors (`path`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// `/`-joined ancestor chain ending in `name`, e.g. `epoch/forward/spmm`.
+    pub path: String,
+    pub name: String,
+    pub depth: usize,
+    pub count: u64,
+    /// Wall time across all invocations (0 in deterministic mode).
+    pub total_ns: u64,
+    /// `total_ns` minus time attributed to direct child spans.
+    pub self_ns: u64,
+}
+
+/// The result of a [`crate::TraceSink`] recording session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    pub deterministic: bool,
+    pub spans: Vec<SpanStat>,
+    pub counters: Vec<(String, u64)>,
+}
+
+const SCHEMA_VERSION: u64 = 1;
+
+fn num(v: u64) -> Json {
+    // Realistic counts/durations are far below 2^53, so the f64-backed
+    // codec round-trips them exactly; clamp pathological values instead of
+    // silently losing integrality.
+    Json::Num(v.min(1u64 << 53) as f64)
+}
+
+impl TraceReport {
+    /// Sum of `(count, total_ns)` over every span row with this leaf name,
+    /// across all paths (e.g. `spmm` under both `forward` and `backward`).
+    pub fn total_named(&self, name: &str) -> (u64, u64) {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .fold((0, 0), |(c, t), s| (c + s.count, t + s.total_ns))
+    }
+
+    /// The value of a named counter, if it was ever touched.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The `n` span rows with the largest self time (ties broken by path so
+    /// the order is stable even when all durations are zero).
+    pub fn top_by_self(&self, n: usize) -> Vec<&SpanStat> {
+        let mut rows: Vec<&SpanStat> = self.spans.iter().collect();
+        rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.path.cmp(&b.path)));
+        rows.truncate(n);
+        rows
+    }
+
+    /// Serialize to JSONL (meta line, span lines, counter lines).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let meta = Json::Obj(vec![
+            ("type".into(), Json::Str("meta".into())),
+            ("version".into(), num(SCHEMA_VERSION)),
+            ("deterministic".into(), Json::Bool(self.deterministic)),
+            ("spans".into(), num(self.spans.len() as u64)),
+            ("counters".into(), num(self.counters.len() as u64)),
+        ]);
+        out.push_str(&meta.to_string());
+        out.push('\n');
+        for s in &self.spans {
+            let line = Json::Obj(vec![
+                ("type".into(), Json::Str("span".into())),
+                ("path".into(), Json::Str(s.path.clone())),
+                ("name".into(), Json::Str(s.name.clone())),
+                ("depth".into(), num(s.depth as u64)),
+                ("count".into(), num(s.count)),
+                ("total_ns".into(), num(s.total_ns)),
+                ("self_ns".into(), num(s.self_ns)),
+            ]);
+            out.push_str(&line.to_string());
+            out.push('\n');
+        }
+        for (name, value) in &self.counters {
+            let line = Json::Obj(vec![
+                ("type".into(), Json::Str("counter".into())),
+                ("name".into(), Json::Str(name.clone())),
+                ("value".into(), num(*value)),
+            ]);
+            out.push_str(&line.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write [`Self::to_jsonl`] to a file.
+    pub fn write_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Parse a JSONL artifact back into a report, validating the schema.
+    pub fn parse_jsonl(text: &str) -> Result<TraceReport, String> {
+        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let (_, meta_line) = lines.next().ok_or("empty trace file")?;
+        let meta = Json::parse(meta_line).map_err(|e| format!("meta line: {e}"))?;
+        if meta.get("type").and_then(Json::as_str) != Some("meta") {
+            return Err("first line is not a meta record".into());
+        }
+        match meta.get("version").and_then(Json::as_u64) {
+            Some(SCHEMA_VERSION) => {}
+            v => return Err(format!("unsupported trace schema version {v:?}")),
+        }
+        let deterministic = meta
+            .get("deterministic")
+            .and_then(Json::as_bool)
+            .ok_or("meta record missing 'deterministic'")?;
+        let n_spans = meta.get("spans").and_then(Json::as_usize).ok_or("meta missing 'spans'")?;
+        let n_counters =
+            meta.get("counters").and_then(Json::as_usize).ok_or("meta missing 'counters'")?;
+
+        let mut spans = Vec::new();
+        let mut counters = Vec::new();
+        for (i, line) in lines {
+            let obj = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            let field_str = |k: &str| {
+                obj.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("line {}: missing string '{k}'", i + 1))
+            };
+            let field_u64 = |k: &str| {
+                obj.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("line {}: missing integer '{k}'", i + 1))
+            };
+            match obj.get("type").and_then(Json::as_str) {
+                Some("span") => spans.push(SpanStat {
+                    path: field_str("path")?,
+                    name: field_str("name")?,
+                    depth: field_u64("depth")? as usize,
+                    count: field_u64("count")?,
+                    total_ns: field_u64("total_ns")?,
+                    self_ns: field_u64("self_ns")?,
+                }),
+                Some("counter") => counters.push((field_str("name")?, field_u64("value")?)),
+                t => return Err(format!("line {}: unexpected record type {t:?}", i + 1)),
+            }
+        }
+        if spans.len() != n_spans {
+            return Err(format!("meta promised {n_spans} spans, found {}", spans.len()));
+        }
+        if counters.len() != n_counters {
+            return Err(format!("meta promised {n_counters} counters, found {}", counters.len()));
+        }
+        Ok(TraceReport { deterministic, spans, counters })
+    }
+}

@@ -99,7 +99,9 @@ fn run_job(n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
     if n_chunks == 0 {
         return;
     }
+    lasagne_obs::counter_add("par.chunks", n_chunks as u64);
     if n_chunks == 1 || pool::in_parallel() {
+        lasagne_obs::counter_add("par.jobs_inline", 1);
         for c in 0..n_chunks {
             task(c);
         }
@@ -107,10 +109,12 @@ fn run_job(n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
     }
     let p = pool();
     if p.threads() == 1 {
+        lasagne_obs::counter_add("par.jobs_inline", 1);
         for c in 0..n_chunks {
             task(c);
         }
     } else {
+        lasagne_obs::counter_add("par.jobs_pooled", 1);
         p.run(n_chunks, task);
     }
 }

@@ -183,6 +183,10 @@ impl Drop for Pool {
 /// caught per chunk (first payload wins) so one poisoned chunk cannot kill
 /// a worker thread or leave siblings blocked.
 fn run_chunks(shared: &Shared, job: Job) {
+    // Per-worker busy time: one Instant pair per (worker, job), so the
+    // traced path adds two clock reads per job — nothing per chunk — and
+    // the disabled path adds one atomic load.
+    let busy_start = lasagne_obs::enabled().then(std::time::Instant::now);
     // SAFETY: see `Pool::run` — the closure outlives the job.
     let task = unsafe { &*job.task.0 };
     loop {
@@ -196,6 +200,9 @@ fn run_chunks(shared: &Shared, job: Job) {
                 st.panic = Some(payload);
             }
         }
+    }
+    if let Some(t0) = busy_start {
+        lasagne_obs::counter_add_ns("par.busy_ns", t0.elapsed().as_nanos() as u64);
     }
 }
 

@@ -236,7 +236,10 @@ impl Csr {
     /// it). This is what makes gather-form [`Csr::spmm_t`] pay the O(nnz)
     /// transpose cost once per training run instead of once per step.
     pub fn transposed(&self) -> &Csr {
-        self.t_cache.get_or_init(|| Box::new(self.transpose()))
+        self.t_cache.get_or_init(|| {
+            lasagne_obs::span!("csr.transpose");
+            Box::new(self.transpose())
+        })
     }
 
     /// Sparse × dense: `self · dense`. The inner loop streams a contiguous
@@ -260,6 +263,8 @@ impl Csr {
         if d == 0 || self.rows == 0 {
             return out;
         }
+        lasagne_obs::span!("spmm");
+        lasagne_obs::counter_add("spmm.nnz", self.values.len() as u64);
         let (indptr, indices, values) = (&self.indptr, &self.indices, &self.values);
         lasagne_par::par_csr_row_chunks_mut(
             out.as_mut_slice(),
@@ -301,6 +306,7 @@ impl Csr {
             dense.rows(),
             dense.cols()
         );
+        lasagne_obs::span!("spmm_t");
         self.transposed().spmm(dense)
     }
 
@@ -331,6 +337,8 @@ impl Csr {
     /// Sparse × dense-vector specialization (used by PageRank).
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(self.cols, x.len(), "spmv: dimension mismatch");
+        lasagne_obs::span!("spmv");
+        lasagne_obs::counter_add("spmv.nnz", self.values.len() as u64);
         let mut out = vec![0.0; self.rows];
         let (indptr, indices, values) = (&self.indptr, &self.indices, &self.values);
         lasagne_par::par_csr_row_chunks_mut(

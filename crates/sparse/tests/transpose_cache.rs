@@ -1,0 +1,46 @@
+//! Regression test for the transpose-cache invalidation contract:
+//! `Csr::values_mut` must drop the lazily cached transpose, so an
+//! `spmm_t` issued *after* an in-place value edit reflects the new values
+//! instead of replaying the stale cache. Checked at thread counts {1, 4}
+//! because the cached transpose is (re)built inside the instrumented
+//! kernel path and the pool must not resurrect stale state either.
+//!
+//! One `#[test]` only: the pool thread count is process-global, so
+//! concurrent tests sweeping `set_threads` would race.
+
+use lasagne_sparse::Csr;
+use lasagne_tensor::Tensor;
+
+#[test]
+fn values_mut_between_spmm_t_calls_invalidates_the_cached_transpose() {
+    for &threads in &[1usize, 4] {
+        lasagne_par::set_threads(threads);
+
+        let mut a = Csr::from_coo(
+            3,
+            3,
+            &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 2.0), (2, 1, 2.0), (0, 0, 3.0)],
+        );
+        let h = Tensor::from_fn(3, 2, |i, j| (i * 2 + j + 1) as f32);
+
+        // Populate the cache, then edit a value in place.
+        let before = a.spmm_t(&h);
+        assert_eq!(&a.transpose().spmm(&h), &before, "{threads} threads: baseline");
+        a.values_mut()[0] = 10.0;
+
+        // The second call must see the edit…
+        let after = a.spmm_t(&h);
+        assert_eq!(
+            &a.transpose().spmm(&h),
+            &after,
+            "{threads} threads: spmm_t replayed a stale cached transpose"
+        );
+        // …and the edit genuinely changes the product (guards against the
+        // assertion passing vacuously).
+        assert_ne!(
+            before.as_slice(),
+            after.as_slice(),
+            "{threads} threads: fixture edit did not affect the product"
+        );
+    }
+}

@@ -66,6 +66,8 @@ impl Tensor {
         if n == 0 || m == 0 {
             return out;
         }
+        lasagne_obs::span!("matmul");
+        lasagne_obs::counter_add("matmul.flops", 2 * (n * k * m) as u64);
         let skip = self.looks_sparse();
         let (a, b) = (&self.data, &other.data);
         lasagne_par::par_row_chunks_mut(&mut out.data, m, par_row_chunk(k * m), |i0, chunk| {
@@ -108,6 +110,8 @@ impl Tensor {
         if n == 0 || k == 0 || m == 0 {
             return out;
         }
+        lasagne_obs::span!("matmul_tn");
+        lasagne_obs::counter_add("matmul.flops", 2 * (n * k * m) as u64);
         let skip = self.looks_sparse();
         let (a, b) = (&self.data, &other.data);
         // ≤ 16 column blocks of ≥ 16 columns: bounds the extra streaming of
@@ -148,6 +152,8 @@ impl Tensor {
         if n == 0 || m == 0 {
             return out;
         }
+        lasagne_obs::span!("matmul_nt");
+        lasagne_obs::counter_add("matmul.flops", 2 * (n * k * m) as u64);
         let (a, b) = (&self.data, &other.data);
         lasagne_par::par_row_chunks_mut(&mut out.data, m, par_row_chunk(k * m), |i0, chunk| {
             for (r, o_row) in chunk.chunks_mut(m).enumerate() {

@@ -212,6 +212,7 @@ fn params_array_from_json(j: &Json) -> TrainResult<Vec<(String, Tensor)>> {
 /// Write every parameter of `store` to `path` (format v2: checksummed,
 /// atomically published).
 pub fn save_params(store: &ParamStore, path: &Path) -> TrainResult<()> {
+    lasagne_obs::span!("checkpoint.save");
     let body = Json::Obj(vec![
         ("kind".into(), Json::Str("params".into())),
         ("params".into(), store_params_to_json(store)),
@@ -224,6 +225,7 @@ pub fn save_params(store: &ParamStore, path: &Path) -> TrainResult<()> {
 /// and shapes (i.e. build the model with the same configuration first).
 /// Also accepts a `train_state` checkpoint, loading just its weights.
 pub fn load_params(store: &mut ParamStore, path: &Path) -> TrainResult<()> {
+    lasagne_obs::span!("checkpoint.load");
     let body = read_envelope(path)?;
     let params = body
         .get("params")
@@ -415,6 +417,7 @@ impl TrainState {
 /// found corrupt, [`load_train_state_with_fallback`] can still recover the
 /// previous epoch's state.
 pub fn save_train_state(state: &TrainState, path: &Path) -> TrainResult<()> {
+    lasagne_obs::span!("checkpoint.save");
     if path.exists() {
         let prev = previous_generation(path);
         std::fs::rename(path, &prev).map_err(|e| io_err(&prev, e))?;
@@ -424,6 +427,7 @@ pub fn save_train_state(state: &TrainState, path: &Path) -> TrainResult<()> {
 
 /// Load a train-state checkpoint, verifying the checksum.
 pub fn load_train_state(path: &Path) -> TrainResult<TrainState> {
+    lasagne_obs::span!("checkpoint.load");
     TrainState::from_json(&read_envelope(path)?)
 }
 

@@ -188,6 +188,7 @@ impl FitResult {
 
 /// Deterministic evaluation forward: logits on `ctx`.
 pub fn evaluate(model: &dyn NodeClassifier, ctx: &GraphContext, rng: &mut TensorRng) -> Tensor {
+    lasagne_obs::span!("eval");
     let mut tape = Tape::new();
     let out = model.forward(&mut tape, ctx, Mode::Eval, rng);
     tape.value(out.logits).clone()
@@ -380,6 +381,8 @@ pub fn fit_with_options(
             }
         }
 
+        lasagne_obs::span!("epoch");
+
         // Top-of-epoch snapshot: the rollback target if this epoch's update
         // turns out non-finite. Captured outside the timed window so Fig 7
         // timings stay comparable.
@@ -397,15 +400,22 @@ pub fn fit_with_options(
         let idx = Rc::new(batch.train_idx.clone());
 
         let mut tape = Tape::new();
-        let out = model.forward(&mut tape, &batch.ctx, Mode::Train, rng);
-        let lp = tape.log_softmax(out.logits);
-        let mut loss = tape.nll_masked(lp, labels, idx);
-        if let Some(reg) = out.regularizer {
-            loss = tape.add(loss, reg);
-        }
+        let loss = {
+            lasagne_obs::span!("forward");
+            let out = model.forward(&mut tape, &batch.ctx, Mode::Train, rng);
+            let lp = tape.log_softmax(out.logits);
+            let mut loss = tape.nll_masked(lp, labels, idx);
+            if let Some(reg) = out.regularizer {
+                loss = tape.add(loss, reg);
+            }
+            loss
+        };
         let loss_value = tape.value(loss).get(0, 0);
         model.store_mut().zero_grads();
-        tape.backward(loss, model.store_mut());
+        {
+            lasagne_obs::span!("backward");
+            tape.backward(loss, model.store_mut());
+        }
 
         let this_step = step;
         step += 1;
@@ -425,6 +435,7 @@ pub fn fit_with_options(
         } else if model.store().grads_non_finite() {
             failure = Some("non-finite gradient".into());
         } else {
+            lasagne_obs::span!("step");
             if let Some(max_norm) = cfg.clip_norm {
                 clip_grad_norm(model.store_mut(), max_norm);
             }
@@ -439,6 +450,7 @@ pub fn fit_with_options(
             }
             // Recovery: roll back weights, Adam moments and the PRNG to the
             // top of this epoch, halve the LR, and retry the epoch.
+            lasagne_obs::counter_add("train.recoveries", 1);
             recoveries += 1;
             model.store_mut().restore(&pre_params);
             opt.restore_state(&pre_adam);

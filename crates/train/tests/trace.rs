@@ -1,0 +1,84 @@
+//! End-to-end trace determinism for a real training run.
+//!
+//! Two claims, both load-bearing for the observability layer:
+//!
+//! 1. `--trace-deterministic` semantics: two identical-seed runs under a
+//!    deterministic sink produce *byte-identical* JSONL artifacts (span
+//!    tree shape, counts and counters are all functions of the run, and
+//!    durations are zeroed).
+//! 2. Heisenberg check: tracing must not perturb training. A traced run
+//!    and an untraced run from the same seeds end with bitwise-identical
+//!    weights-only checkpoints. (Weights-only, because train-state
+//!    checkpoints record wall-clock times that differ between any two
+//!    runs, traced or not.)
+//!
+//! One `#[test]` only: the trace sink and the pool thread count are
+//! process-global, so this cannot share a binary with concurrent tests.
+
+use std::path::PathBuf;
+
+use lasagne_datasets::{Dataset, DatasetId};
+use lasagne_gnn::models::Gcn;
+use lasagne_gnn::sampling::FullBatch;
+use lasagne_gnn::{GraphContext, Hyper, NodeClassifier};
+use lasagne_obs::TraceSink;
+use lasagne_tensor::TensorRng;
+use lasagne_train::{fit, save_params, TrainConfig};
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lasagne_trace_test_{}_{name}", std::process::id()))
+}
+
+/// One small fixed-seed training run; returns the weights-only checkpoint
+/// bytes and, when traced, the JSONL artifact text.
+fn train_once(traced: Option<bool>) -> (Vec<u8>, Option<String>) {
+    let ds = Dataset::generate(DatasetId::Cora, 0);
+    let hyper = Hyper::for_dataset(DatasetId::Cora);
+    let mut model = Gcn::new(ds.num_features(), ds.num_classes, &hyper, 0);
+    let ctx = GraphContext::from_dataset(&ds);
+    let mut strat = FullBatch::from_dataset(&ds);
+    let mut rng = TensorRng::seed_from_u64(0);
+    let cfg = TrainConfig {
+        max_epochs: 3,
+        patience: 10,
+        lr: 0.02,
+        weight_decay: 5e-4,
+        eval_every: 1,
+        ..TrainConfig::default()
+    };
+
+    let sink = traced.map(TraceSink::start);
+    let _ = fit(&mut model, &mut strat, &ctx, &ds.split, &cfg, &mut rng);
+    let jsonl = sink.map(|s| s.finish().to_jsonl());
+
+    let path = tmp("params.json");
+    save_params(model.store_mut(), &path).expect("save_params");
+    let bytes = std::fs::read(&path).expect("read checkpoint");
+    let _ = std::fs::remove_file(&path);
+    (bytes, jsonl)
+}
+
+#[test]
+fn traces_are_deterministic_and_tracing_never_perturbs_training() {
+    // (1) Same seeds + deterministic sink ⇒ byte-identical artifacts.
+    let (ckpt_a, trace_a) = train_once(Some(true));
+    let (ckpt_b, trace_b) = train_once(Some(true));
+    let (trace_a, trace_b) = (trace_a.unwrap(), trace_b.unwrap());
+    assert!(
+        trace_a.contains("\"epoch\"") && trace_a.contains("\"forward\""),
+        "trace is missing the training spans:\n{trace_a}"
+    );
+    assert_eq!(trace_a, trace_b, "deterministic traces differ between identical runs");
+    assert_eq!(ckpt_a, ckpt_b, "identical runs produced different weights");
+
+    // (2) Timed tracing vs no tracing at all: same final weights, bit for
+    // bit. The sink only ever *observes* the run.
+    let (ckpt_timed, trace_timed) = train_once(Some(false));
+    let (ckpt_plain, _) = train_once(None);
+    assert!(trace_timed.unwrap().contains("\"total_ns\""));
+    assert_eq!(
+        ckpt_timed, ckpt_plain,
+        "tracing changed the training trajectory (checkpoints differ)"
+    );
+    assert_eq!(ckpt_plain, ckpt_a, "traced-deterministic vs untraced weights differ");
+}

@@ -30,7 +30,39 @@ LASAGNE_THREADS=4 cargo run --release --offline --bin lasagne-cli -- \
     cora gcn --epochs 3 --save target/verify_t4.ckpt.json > /dev/null
 cmp target/verify_t1.ckpt.json target/verify_t4.ckpt.json
 
-echo "== kernels bench smoke (tiny shapes, JSON artifact) =="
+echo "== gradcheck sweeps (13 baselines + Lasagne aggregators + GC-FM) =="
+cargo test -q --offline -p lasagne-gnn --test gradcheck_models
+cargo test -q --offline -p lasagne-core --test gradcheck_lasagne
+
+echo "== MI golden tests (closed-form histogram + KSG cases) =="
+cargo test -q --offline -p lasagne-mi --test golden
+
+echo "== trace: artifact is valid and has the expected spans =="
+rm -f target/verify_trace.ckpt.json
+cargo run --release --offline --bin lasagne-cli -- \
+    cora gcn --epochs 3 --resume target/verify_trace.ckpt.json \
+    --trace-out target/verify_trace.jsonl --trace-summary > /dev/null
+cargo run --release --offline -p lasagne-obs --bin tracecheck -- \
+    target/verify_trace.jsonl
+
+echo "== trace: deterministic artifacts are byte-identical across runs =="
+rm -f target/verify_det.ckpt.json
+cargo run --release --offline --bin lasagne-cli -- \
+    cora gcn --epochs 3 --resume target/verify_det.ckpt.json \
+    --trace-out target/verify_det_a.jsonl --trace-deterministic > /dev/null
+rm -f target/verify_det.ckpt.json
+cargo run --release --offline --bin lasagne-cli -- \
+    cora gcn --epochs 3 --resume target/verify_det.ckpt.json \
+    --trace-out target/verify_det_b.jsonl --trace-deterministic > /dev/null
+cmp target/verify_det_a.jsonl target/verify_det_b.jsonl
+
+echo "== trace: tracing does not perturb training (checkpoints bitwise equal) =="
+cargo run --release --offline --bin lasagne-cli -- \
+    cora gcn --epochs 3 --save target/verify_traced.ckpt.json \
+    --trace-out target/verify_traced.jsonl > /dev/null
+cmp target/verify_t1.ckpt.json target/verify_traced.ckpt.json
+
+echo "== kernels bench smoke (tiny shapes, JSON artifact, disabled-span contract) =="
 cargo run --release --offline -p lasagne-bench --bin kernels -- \
     --smoke --out target/BENCH_kernels.smoke.json > /dev/null
 test -s target/BENCH_kernels.smoke.json

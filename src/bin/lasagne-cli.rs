@@ -17,8 +17,15 @@
 //! `--threads N` sizes the `lasagne-par` kernel pool (overriding
 //! `LASAGNE_THREADS` and the core count). By the determinism contract
 //! (DESIGN.md §8) it changes wall-clock only — never a single output bit.
+//!
+//! `--trace-out PATH` records a span/counter trace of the training run
+//! (DESIGN.md §9) and writes it as JSONL; `--trace-summary` prints the
+//! top self-time spans and the counters as tables; `--trace-deterministic`
+//! zeroes all durations so two same-seed traces are byte-identical.
+//! Tracing never changes a computed bit — only observes.
 
 use lasagne::prelude::*;
+use lasagne_obs::{TraceReport, TraceSink};
 use lasagne_train::save_params;
 
 struct Args {
@@ -33,6 +40,9 @@ struct Args {
     max_recoveries: Option<usize>,
     clip_norm: Option<f32>,
     threads: Option<usize>,
+    trace_out: Option<std::path::PathBuf>,
+    trace_summary: bool,
+    trace_deterministic: bool,
 }
 
 const MODELS: &[&str] = &[
@@ -44,6 +54,7 @@ const MODELS: &[&str] = &[
 fn usage() -> ! {
     eprintln!("usage: lasagne-cli <dataset> <model> [--depth N] [--seeds N] [--epochs N] [--data-seed N] [--save PATH]");
     eprintln!("                   [--resume PATH] [--max-recoveries N] [--clip-norm X] [--threads N]");
+    eprintln!("                   [--trace-out PATH] [--trace-summary] [--trace-deterministic]");
     eprintln!("       lasagne-cli --list");
     eprintln!("datasets: {}", DatasetId::all().map(|d| d.name()).join(", "));
     eprintln!("models:   {}", MODELS.join(", "));
@@ -81,10 +92,27 @@ fn parse_args() -> Args {
         max_recoveries: None,
         clip_norm: None,
         threads: None,
+        trace_out: None,
+        trace_summary: false,
+        trace_deterministic: false,
     };
     let mut i = 2;
     while i < argv.len() {
         let flag = argv[i].as_str();
+        // Boolean flags take no value.
+        match flag {
+            "--trace-summary" => {
+                args.trace_summary = true;
+                i += 1;
+                continue;
+            }
+            "--trace-deterministic" => {
+                args.trace_deterministic = true;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
         let value = argv.get(i + 1).unwrap_or_else(|| usage());
         match flag {
             "--depth" => args.depth = Some(value.parse().unwrap_or_else(|_| usage())),
@@ -101,6 +129,7 @@ fn parse_args() -> Args {
                 args.threads =
                     Some(value.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| usage()))
             }
+            "--trace-out" => args.trace_out = Some(value.into()),
             _ => usage(),
         }
         i += 2;
@@ -140,6 +169,33 @@ fn build(model: &str, ds: &Dataset, hyper: &Hyper, seed: u64) -> Box<dyn NodeCla
     }
 }
 
+/// Top-10 spans by self time plus every counter, via `train::table`.
+fn print_trace_summary(report: &TraceReport) {
+    let total_ns: u64 = report.spans.iter().filter(|s| s.depth == 0).map(|s| s.total_ns).sum();
+    let mut spans = Table::new(
+        "trace: top spans by self time",
+        &["span", "count", "total ms", "self ms", "self %"],
+    );
+    for s in report.top_by_self(10) {
+        let pct = if total_ns > 0 { 100.0 * s.self_ns as f64 / total_ns as f64 } else { 0.0 };
+        spans.row(vec![
+            s.path.clone(),
+            s.count.to_string(),
+            format!("{:.3}", s.total_ns as f64 / 1e6),
+            format!("{:.3}", s.self_ns as f64 / 1e6),
+            format!("{pct:.1}"),
+        ]);
+    }
+    print!("{}", spans.render());
+    if !report.counters.is_empty() {
+        let mut counters = Table::new("trace: counters", &["counter", "value"]);
+        for (name, value) in &report.counters {
+            counters.row(vec![name.clone(), value.to_string()]);
+        }
+        print!("{}", counters.render());
+    }
+}
+
 fn main() {
     let args = parse_args();
     if let Some(n) = args.threads {
@@ -170,6 +226,11 @@ fn main() {
     train_cfg.clip_norm = args.clip_norm;
     let ctx = GraphContext::from_dataset(&ds);
 
+    // Record spans/counters only when asked: without a sink every probe in
+    // the kernels is a single disabled-path atomic load.
+    let tracing = args.trace_out.is_some() || args.trace_summary;
+    let sink = tracing.then(|| TraceSink::start(args.trace_deterministic));
+
     let mut last_model: Option<Box<dyn NodeClassifier>> = None;
     let summary = run_seeds_fallible(args.seeds, 42, |seed| {
         let mut model = build(&args.model, &ds, &hyper, seed);
@@ -192,6 +253,19 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
+    if let Some(sink) = sink {
+        let report = sink.finish();
+        if let Some(path) = &args.trace_out {
+            if let Err(e) = report.write_jsonl(path) {
+                eprintln!("error: failed to write trace: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote trace to {}", path.display());
+        }
+        if args.trace_summary {
+            print_trace_summary(&report);
+        }
+    }
     for (seed, err) in &summary.failures {
         eprintln!("seed {seed} failed (after one retry): {err}");
     }
