@@ -97,7 +97,7 @@ impl Tape {
                 }
             }
             Op::Scale(x, alpha) => self.acc(grads, *x, g.scale(*alpha)),
-            Op::AddConst(x) => self.acc(grads, *x, g.clone()),
+            Op::AddConst(x, _) => self.acc(grads, *x, g.clone()),
             Op::Pow { x, p, eps } => {
                 let xv = self.value(*x);
                 let d = Tensor::from_fn(xv.rows(), xv.cols(), |i, j| {
@@ -250,7 +250,7 @@ impl Tape {
                 self.acc(grads, *logp, d);
             }
 
-            Op::GatAggregate { adj, z, ssrc, sdst, alpha, dleaky } => {
+            Op::GatAggregate { adj, z, ssrc, sdst, alpha, dleaky, .. } => {
                 let zv = self.value(*z);
                 let n = adj.rows();
                 let d = zv.cols();

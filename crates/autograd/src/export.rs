@@ -1,0 +1,400 @@
+//! Export an eval-mode forward pass as a static, tape-free **program**.
+//!
+//! A [`Tape`] is a define-by-run graph: rebuilding it per query drags the
+//! whole autograd machinery (gradient flags, captured backward data) into
+//! inference. For serving we instead record the tape *once* — with the
+//! model in `Mode::Eval`, so there are no dropout masks or sampled gates —
+//! and convert the subgraph reachable from the logits into a flat
+//! [`Program`]: a topologically ordered list of [`ProgramOp`]s over dense
+//! tensors, a deduplicated table of sparse operators, and parameter leaves
+//! referenced **by name** (bound to a weight table at load time).
+//!
+//! The program's evaluator (`lasagne-serve`) calls the exact same
+//! `lasagne-tensor` / `lasagne-sparse` kernels the tape constructors call,
+//! in the same order, so a frozen forward is bitwise-identical to the
+//! training-path eval forward at any thread count.
+//!
+//! Train-only ops (dropout, sampled Bernoulli gates, the masked NLL loss)
+//! must not appear in an inference program; exporting one is a typed
+//! [`ExportError`], not a silent approximation.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use lasagne_sparse::Csr;
+use lasagne_tensor::Tensor;
+
+use crate::tape::{NodeId, Op, Tape};
+use crate::ParamStore;
+
+/// Why a tape could not be exported as an inference program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExportError {
+    /// The reachable subgraph contains an op that only makes sense during
+    /// training (dropout, sampled gates, loss terms).
+    TrainOnlyOp {
+        /// Tape index of the offending node.
+        node: usize,
+        /// Op name, for the error message.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExportError::TrainOnlyOp { node, op } => write!(
+                f,
+                "tape node {node} is a train-only op ({op}); export the model's Mode::Eval forward"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+/// One instruction of a frozen inference program. Operand indices refer to
+/// earlier instructions; `adj`/`m` index the program's sparse table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgramOp {
+    /// Literal tensor (input features, precomputed constants).
+    Constant { value: Tensor },
+    /// Named parameter leaf, bound against a weight table at load time.
+    Param { name: String },
+    /// `a · b`.
+    MatMul { a: usize, b: usize },
+    /// Sparse `m · x`.
+    SpMM { m: usize, x: usize },
+    /// `a + b`.
+    Add { a: usize, b: usize },
+    /// `a - b`.
+    Sub { a: usize, b: usize },
+    /// `a ⊙ b`.
+    Mul { a: usize, b: usize },
+    /// `a / b`.
+    Div { a: usize, b: usize },
+    /// `alpha * x`.
+    Scale { x: usize, alpha: f32 },
+    /// `x + c`.
+    AddConst { x: usize, c: f32 },
+    /// `(x + eps)^p`.
+    Pow { x: usize, p: f32, eps: f32 },
+    /// `e^x`.
+    Exp { x: usize },
+    /// `max(0, x)`.
+    Relu { x: usize },
+    /// Leaky ReLU.
+    LeakyRelu { x: usize, slope: f32 },
+    /// Logistic sigmoid.
+    Sigmoid { x: usize },
+    /// Hyperbolic tangent.
+    Tanh { x: usize },
+    /// `x (N×D) + b (1×D)`.
+    AddRowBroadcast { x: usize, b: usize },
+    /// `x (N×D) + c (N×1)`.
+    AddColBroadcast { x: usize, c: usize },
+    /// `x (N×D) ⊙ c (N×1)`.
+    MulColBroadcast { x: usize, c: usize },
+    /// `x * s` with a `1×1` operand.
+    MulScalarNode { x: usize, s: usize },
+    /// Row-wise log-softmax.
+    LogSoftmax { x: usize },
+    /// Concatenate operands side by side.
+    ConcatCols { parts: Vec<usize> },
+    /// Columns `[lo, hi)`.
+    SliceCols { x: usize, lo: usize, hi: usize },
+    /// Gather rows in the given order.
+    GatherRows { x: usize, idx: Vec<usize> },
+    /// Sum of all elements as `1×1`.
+    SumAll { x: usize },
+    /// Column sums `N×D → 1×D`.
+    SumRows { x: usize },
+    /// Row sums `N×D → N×1`.
+    SumCols { x: usize },
+    /// Element-wise max over same-shaped operands.
+    MaxStack { parts: Vec<usize> },
+    /// GAT neighborhood attention (recomputed from scratch at eval via
+    /// [`crate::gat_attention`]).
+    GatAggregate {
+        /// Sparse-table index of the neighborhood structure.
+        adj: usize,
+        /// Projected features `z = H·W`.
+        z: usize,
+        /// `z·a_src` attention half.
+        ssrc: usize,
+        /// `z·a_dst` attention half.
+        sdst: usize,
+        /// LeakyReLU negative slope.
+        slope: f32,
+    },
+}
+
+impl ProgramOp {
+    /// Indices of the instructions this op reads.
+    pub fn inputs(&self) -> Vec<usize> {
+        use ProgramOp::*;
+        match self {
+            Constant { .. } | Param { .. } => Vec::new(),
+            MatMul { a, b } | Add { a, b } | Sub { a, b } | Mul { a, b } | Div { a, b } => {
+                vec![*a, *b]
+            }
+            SpMM { x, .. }
+            | Scale { x, .. }
+            | AddConst { x, .. }
+            | Pow { x, .. }
+            | Exp { x }
+            | Relu { x }
+            | LeakyRelu { x, .. }
+            | Sigmoid { x }
+            | Tanh { x }
+            | LogSoftmax { x }
+            | SliceCols { x, .. }
+            | GatherRows { x, .. }
+            | SumAll { x }
+            | SumRows { x }
+            | SumCols { x } => vec![*x],
+            AddRowBroadcast { x, b } => vec![*x, *b],
+            AddColBroadcast { x, c } | MulColBroadcast { x, c } => vec![*x, *c],
+            MulScalarNode { x, s } => vec![*x, *s],
+            ConcatCols { parts } | MaxStack { parts } => parts.clone(),
+            GatAggregate { z, ssrc, sdst, .. } => vec![*z, *ssrc, *sdst],
+        }
+    }
+}
+
+/// A frozen inference program: the eval-mode forward of one model on one
+/// graph, pruned to the subgraph that produces the logits.
+pub struct Program {
+    /// Topologically ordered instructions; the last evaluated values feed
+    /// [`Program::output`].
+    pub ops: Vec<ProgramOp>,
+    /// Deduplicated sparse operators (`Â`, `adj+I`, `D̃⁻¹(A+I)`, …).
+    pub sparse: Vec<Rc<Csr>>,
+    /// Index of the instruction whose value is the model output.
+    pub output: usize,
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Program")
+            .field("ops", &self.ops.len())
+            .field("sparse", &self.sparse.len())
+            .field("output", &self.output)
+            .finish()
+    }
+}
+
+impl Program {
+    /// Names of the parameters the program binds, in first-use order,
+    /// deduplicated.
+    pub fn param_names(&self) -> Vec<&str> {
+        let mut seen: Vec<&str> = Vec::new();
+        for op in &self.ops {
+            if let ProgramOp::Param { name } = op {
+                if !seen.contains(&name.as_str()) {
+                    seen.push(name);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Mark every tape index reachable from `output` by walking op inputs.
+fn reachable_set(tape: &Tape, output: NodeId) -> Vec<bool> {
+    let mut keep = vec![false; tape.len()];
+    let mut stack = vec![output.0];
+    while let Some(i) = stack.pop() {
+        if keep[i] {
+            continue;
+        }
+        keep[i] = true;
+        match &tape.nodes[i].op {
+            Op::Constant | Op::Param(_) => {}
+            Op::MatMul(a, b)
+            | Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::Div(a, b)
+            | Op::AddRowBroadcast(a, b)
+            | Op::AddColBroadcast(a, b)
+            | Op::MulColBroadcast(a, b)
+            | Op::MulScalarNode(a, b) => {
+                stack.push(a.0);
+                stack.push(b.0);
+            }
+            Op::SpMM { x, .. }
+            | Op::Scale(x, _)
+            | Op::AddConst(x, _)
+            | Op::Pow { x, .. }
+            | Op::Exp(x)
+            | Op::Relu(x)
+            | Op::LeakyRelu(x, _)
+            | Op::Sigmoid(x)
+            | Op::Tanh(x)
+            | Op::Dropout { x, .. }
+            | Op::LogSoftmax(x)
+            | Op::SliceCols { x, .. }
+            | Op::GatherRows { x, .. }
+            | Op::SumAll(x)
+            | Op::SumRows(x)
+            | Op::SumCols(x) => stack.push(x.0),
+            Op::ConcatCols(parts) => stack.extend(parts.iter().map(|p| p.0)),
+            Op::MaxStack { parts, .. } => stack.extend(parts.iter().map(|p| p.0)),
+            Op::StMulCol { x, p, .. } => {
+                stack.push(x.0);
+                stack.push(p.0);
+            }
+            Op::NllMasked { logp, .. } => stack.push(logp.0),
+            Op::GatAggregate { z, ssrc, sdst, .. } => {
+                stack.push(z.0);
+                stack.push(ssrc.0);
+                stack.push(sdst.0);
+            }
+        }
+    }
+    keep
+}
+
+impl Tape {
+    /// Convert the subgraph of this tape that produces `output` into a
+    /// standalone [`Program`]. Parameter leaves are exported by their
+    /// registered name in `store`; sparse operands are deduplicated by
+    /// identity. Fails with [`ExportError::TrainOnlyOp`] if the subgraph
+    /// contains dropout, sampled gates, or loss ops — record the forward in
+    /// `Mode::Eval` to avoid them.
+    pub fn export_program(
+        &self,
+        store: &ParamStore,
+        output: NodeId,
+    ) -> Result<Program, ExportError> {
+        let keep = reachable_set(self, output);
+        // Remap kept tape indices to dense program indices, preserving the
+        // tape's (already topological) order.
+        let mut remap = vec![usize::MAX; self.len()];
+        let mut next = 0usize;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        let mut sparse: Vec<Rc<Csr>> = Vec::new();
+        let mut sparse_ids: HashMap<*const Csr, usize> = HashMap::new();
+        let mut intern = |m: &Rc<Csr>, sparse: &mut Vec<Rc<Csr>>| -> usize {
+            let key = Rc::as_ptr(m);
+            *sparse_ids.entry(key).or_insert_with(|| {
+                sparse.push(Rc::clone(m));
+                sparse.len() - 1
+            })
+        };
+
+        let mut ops = Vec::with_capacity(next);
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            let r = |n: &NodeId| remap[n.0];
+            let op = match &node.op {
+                Op::Constant => ProgramOp::Constant { value: node.value.clone() },
+                Op::Param(id) => ProgramOp::Param { name: store.name(*id).to_string() },
+                Op::MatMul(a, b) => ProgramOp::MatMul { a: r(a), b: r(b) },
+                Op::SpMM { m, x } => {
+                    ProgramOp::SpMM { m: intern(m, &mut sparse), x: r(x) }
+                }
+                Op::Add(a, b) => ProgramOp::Add { a: r(a), b: r(b) },
+                Op::Sub(a, b) => ProgramOp::Sub { a: r(a), b: r(b) },
+                Op::Mul(a, b) => ProgramOp::Mul { a: r(a), b: r(b) },
+                Op::Div(a, b) => ProgramOp::Div { a: r(a), b: r(b) },
+                Op::Scale(x, alpha) => ProgramOp::Scale { x: r(x), alpha: *alpha },
+                Op::AddConst(x, c) => ProgramOp::AddConst { x: r(x), c: *c },
+                Op::Pow { x, p, eps } => ProgramOp::Pow { x: r(x), p: *p, eps: *eps },
+                Op::Exp(x) => ProgramOp::Exp { x: r(x) },
+                Op::Relu(x) => ProgramOp::Relu { x: r(x) },
+                Op::LeakyRelu(x, slope) => ProgramOp::LeakyRelu { x: r(x), slope: *slope },
+                Op::Sigmoid(x) => ProgramOp::Sigmoid { x: r(x) },
+                Op::Tanh(x) => ProgramOp::Tanh { x: r(x) },
+                Op::AddRowBroadcast(x, b) => ProgramOp::AddRowBroadcast { x: r(x), b: r(b) },
+                Op::AddColBroadcast(x, c) => ProgramOp::AddColBroadcast { x: r(x), c: r(c) },
+                Op::MulColBroadcast(x, c) => ProgramOp::MulColBroadcast { x: r(x), c: r(c) },
+                Op::MulScalarNode(x, s) => ProgramOp::MulScalarNode { x: r(x), s: r(s) },
+                Op::LogSoftmax(x) => ProgramOp::LogSoftmax { x: r(x) },
+                Op::ConcatCols(parts) => {
+                    ProgramOp::ConcatCols { parts: parts.iter().map(r).collect() }
+                }
+                Op::SliceCols { x, lo, hi } => {
+                    ProgramOp::SliceCols { x: r(x), lo: *lo, hi: *hi }
+                }
+                Op::GatherRows { x, idx } => {
+                    ProgramOp::GatherRows { x: r(x), idx: (**idx).clone() }
+                }
+                Op::SumAll(x) => ProgramOp::SumAll { x: r(x) },
+                Op::SumRows(x) => ProgramOp::SumRows { x: r(x) },
+                Op::SumCols(x) => ProgramOp::SumCols { x: r(x) },
+                Op::MaxStack { parts, .. } => {
+                    ProgramOp::MaxStack { parts: parts.iter().map(r).collect() }
+                }
+                Op::GatAggregate { adj, z, ssrc, sdst, slope, .. } => ProgramOp::GatAggregate {
+                    adj: intern(adj, &mut sparse),
+                    z: r(z),
+                    ssrc: r(ssrc),
+                    sdst: r(sdst),
+                    slope: *slope,
+                },
+                Op::Dropout { .. } => {
+                    return Err(ExportError::TrainOnlyOp { node: i, op: "dropout" })
+                }
+                Op::StMulCol { .. } => {
+                    return Err(ExportError::TrainOnlyOp { node: i, op: "st_bernoulli_gate" })
+                }
+                Op::NllMasked { .. } => {
+                    return Err(ExportError::TrainOnlyOp { node: i, op: "nll_masked" })
+                }
+            };
+            ops.push(op);
+        }
+        Ok(Program { ops, sparse, output: remap[output.0] })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasagne_tensor::TensorRng;
+
+    #[test]
+    fn export_prunes_and_remaps() {
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let w = store.add("w", rng.uniform_tensor(3, 2, -1.0, 1.0));
+        let mut tape = Tape::new();
+        let x = tape.constant(rng.uniform_tensor(4, 3, -1.0, 1.0));
+        let _dead = tape.constant(Tensor::ones(7, 7)); // unreachable from out
+        let wn = tape.param(w, &store);
+        let xw = tape.matmul(x, wn);
+        let a = Rc::new(Csr::identity(4));
+        let prop = tape.spmm(Rc::clone(&a), xw);
+        let prop2 = tape.spmm(Rc::clone(&a), prop); // same Rc: dedup to 1 entry
+        let out = tape.relu(prop2);
+
+        let prog = tape.export_program(&store, out).expect("exports");
+        assert_eq!(prog.ops.len(), 6, "dead node pruned");
+        assert_eq!(prog.sparse.len(), 1, "sparse operand deduplicated");
+        assert_eq!(prog.output, 5);
+        assert_eq!(prog.param_names(), vec!["w"]);
+        assert!(matches!(prog.ops[prog.output], ProgramOp::Relu { .. }));
+    }
+
+    #[test]
+    fn train_only_ops_are_rejected() {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let store = ParamStore::new();
+        let mut tape = Tape::new();
+        let x = tape.constant(rng.uniform_tensor(4, 3, -1.0, 1.0));
+        let mut trng = TensorRng::seed_from_u64(2);
+        let dropped = tape.dropout(x, 0.5, &mut trng);
+        let err = tape.export_program(&store, dropped).unwrap_err();
+        assert!(matches!(err, ExportError::TrainOnlyOp { op: "dropout", .. }), "{err}");
+    }
+}

@@ -41,6 +41,7 @@
 //! ```
 
 mod backward;
+mod export;
 mod gradcheck;
 mod ops_basic;
 mod ops_graph;
@@ -50,8 +51,10 @@ mod params;
 mod schedule;
 mod tape;
 
+pub use export::{ExportError, Program, ProgramOp};
 pub use gradcheck::{grad_check, grad_check_owner, GradCheckReport};
+pub use ops_graph::{gat_attention, GatForward};
 pub use optim::{Adam, AdamState, Optimizer, Sgd};
 pub use schedule::{clip_grad_norm, ConstantLr, LinearWarmup, LrSchedule, StepDecay};
-pub use params::{ParamId, ParamStore};
+pub use params::{ModelError, ParamId, ParamStore};
 pub use tape::{NodeId, Tape};

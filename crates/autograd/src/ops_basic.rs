@@ -57,7 +57,7 @@ impl Tape {
     pub fn add_const(&mut self, x: NodeId, c: f32) -> NodeId {
         let v = self.value(x).add_scalar(c);
         let needs = self.needs_grad(x);
-        self.push(v, Op::AddConst(x), needs)
+        self.push(v, Op::AddConst(x, c), needs)
     }
 
     /// Element-wise `(x + eps)^p`. Use `eps > 0` for fractional/negative `p`.

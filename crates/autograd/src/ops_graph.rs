@@ -8,6 +8,74 @@ use lasagne_tensor::Tensor;
 
 use crate::tape::{NodeId, Op, Tape};
 
+/// Result of the GAT attention forward pass: the aggregated output plus the
+/// per-edge attention coefficients and LeakyReLU slopes that backward needs.
+pub struct GatForward {
+    /// `N×D` attention-weighted neighborhood aggregation.
+    pub out: Tensor,
+    /// Normalized attention coefficient per CSR edge.
+    pub alpha: Vec<f32>,
+    /// LeakyReLU derivative (1 or `slope`) per CSR edge.
+    pub dleaky: Vec<f32>,
+}
+
+/// The forward computation of [`Tape::gat_aggregate`] as a pure function —
+/// shared between the training tape and the tape-free inference engine
+/// (`lasagne-serve`), so the two paths are bitwise-identical by
+/// construction.
+pub fn gat_attention(
+    adj: &Csr,
+    zv: &Tensor,
+    s_src: &Tensor,
+    s_dst: &Tensor,
+    slope: f32,
+) -> GatForward {
+    let n = adj.rows();
+    assert_eq!(zv.rows(), n, "gat_attention: z rows != graph size");
+    assert_eq!(s_src.shape(), (n, 1), "gat_attention: ssrc must be N×1");
+    assert_eq!(s_dst.shape(), (n, 1), "gat_attention: sdst must be N×1");
+    let d = zv.cols();
+
+    let mut alpha = vec![0.0f32; adj.nnz()];
+    let mut dleaky = vec![0.0f32; adj.nnz()];
+    let mut out = Tensor::zeros(n, d);
+    let mut row_e: Vec<f32> = Vec::new();
+    for i in 0..n {
+        let lo = adj.indptr()[i];
+        let hi = adj.indptr()[i + 1];
+        if lo == hi {
+            continue;
+        }
+        let si = s_src.get(i, 0);
+        row_e.clear();
+        for e in lo..hi {
+            let j = adj.indices()[e] as usize;
+            let u = si + s_dst.get(j, 0);
+            dleaky[e] = if u >= 0.0 { 1.0 } else { slope };
+            row_e.push(if u >= 0.0 { u } else { slope * u });
+        }
+        // Stable softmax over the row.
+        let m = row_e.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row_e.iter_mut() {
+            *v = (*v - m).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        let o_row = out.row_mut(i);
+        for (k, e) in (lo..hi).enumerate() {
+            let a = row_e[k] * inv;
+            alpha[e] = a;
+            let j = adj.indices()[e] as usize;
+            let z_row = zv.row(j);
+            for (o, &zz) in o_row.iter_mut().zip(z_row) {
+                *o += a * zz;
+            }
+        }
+    }
+    GatForward { out, alpha, dleaky }
+}
+
 impl Tape {
     /// `m · x` with a fixed sparse matrix `m` (usually `Â`). Gradients flow
     /// to `x` only (the graph is not trainable).
@@ -37,58 +105,20 @@ impl Tape {
         sdst: NodeId,
         slope: f32,
     ) -> NodeId {
-        let n = adj.rows();
-        let zv = self.value(z);
-        assert_eq!(zv.rows(), n, "gat_aggregate: z rows != graph size");
-        assert_eq!(self.value(ssrc).shape(), (n, 1), "gat_aggregate: ssrc must be N×1");
-        assert_eq!(self.value(sdst).shape(), (n, 1), "gat_aggregate: sdst must be N×1");
-        let d = zv.cols();
-        let s_src = self.value(ssrc);
-        let s_dst = self.value(sdst);
-
-        let mut alpha = vec![0.0f32; adj.nnz()];
-        let mut dleaky = vec![0.0f32; adj.nnz()];
-        let mut out = Tensor::zeros(n, d);
-        let mut row_e: Vec<f32> = Vec::new();
-        for i in 0..n {
-            let lo = adj.indptr()[i];
-            let hi = adj.indptr()[i + 1];
-            if lo == hi {
-                continue;
-            }
-            let si = s_src.get(i, 0);
-            row_e.clear();
-            for e in lo..hi {
-                let j = adj.indices()[e] as usize;
-                let u = si + s_dst.get(j, 0);
-                dleaky[e] = if u >= 0.0 { 1.0 } else { slope };
-                row_e.push(if u >= 0.0 { u } else { slope * u });
-            }
-            // Stable softmax over the row.
-            let m = row_e.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0f32;
-            for v in row_e.iter_mut() {
-                *v = (*v - m).exp();
-                sum += *v;
-            }
-            let inv = 1.0 / sum;
-            let o_row = out.row_mut(i);
-            for (k, e) in (lo..hi).enumerate() {
-                let a = row_e[k] * inv;
-                alpha[e] = a;
-                let j = adj.indices()[e] as usize;
-                let z_row = zv.row(j);
-                for (o, &zz) in o_row.iter_mut().zip(z_row) {
-                    *o += a * zz;
-                }
-            }
-        }
-
+        let fwd = gat_attention(&adj, self.value(z), self.value(ssrc), self.value(sdst), slope);
         let needs =
             self.needs_grad(z) || self.needs_grad(ssrc) || self.needs_grad(sdst);
         self.push(
-            out,
-            Op::GatAggregate { adj, z, ssrc, sdst, alpha, dleaky },
+            fwd.out,
+            Op::GatAggregate {
+                adj,
+                z,
+                ssrc,
+                sdst,
+                slope,
+                alpha: fwd.alpha,
+                dleaky: fwd.dleaky,
+            },
             needs,
         )
     }

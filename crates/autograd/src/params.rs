@@ -4,7 +4,29 @@
 //! tapes copy values in at [`crate::Tape::param`] time and scatter gradients
 //! back during [`crate::Tape::backward`]. Optimizers mutate the store.
 
+use std::fmt;
+
 use lasagne_tensor::Tensor;
+
+/// Typed failure when interrogating a model's parameter set by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// No parameter registered under this name — usually a model/checkpoint
+    /// mismatch (different architecture, depth, or naming scheme).
+    MissingParam(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::MissingParam(name) => {
+                write!(f, "no parameter named '{name}' in this model's store")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
 
 /// Handle to one parameter tensor inside a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -161,6 +183,14 @@ impl ParamStore {
         self.names.iter().position(|n| n == name).map(ParamId)
     }
 
+    /// Like [`ParamStore::find`], but a missing name is a typed error that
+    /// carries the name — callers binding checkpoints or frozen models get a
+    /// diagnosable failure instead of a bare `unwrap` panic.
+    pub fn require(&self, name: &str) -> Result<ParamId, ModelError> {
+        self.find(name)
+            .ok_or_else(|| ModelError::MissingParam(name.to_string()))
+    }
+
     /// Iterate over `(id, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
         self.values.iter().enumerate().map(|(i, t)| (ParamId(i), t))
@@ -192,6 +222,16 @@ mod tests {
         assert_eq!(s.decay_factor(a), 1.0);
         assert_eq!(s.decay_factor(b), 0.0);
         assert_eq!(s.value(b).shape(), (4, 1));
+    }
+
+    #[test]
+    fn require_is_find_with_a_typed_error() {
+        let mut s = ParamStore::new();
+        let a = s.add("w1", Tensor::ones(2, 3));
+        assert_eq!(s.require("w1"), Ok(a));
+        let err = s.require("nope").unwrap_err();
+        assert_eq!(err, ModelError::MissingParam("nope".into()));
+        assert!(err.to_string().contains("'nope'"), "{err}");
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub(crate) enum Op {
     Mul(NodeId, NodeId),
     Div(NodeId, NodeId),
     Scale(NodeId, f32),
-    AddConst(NodeId),
+    AddConst(NodeId, f32),
     /// Element-wise `(x + eps)^p` (eps keeps fractional powers away from 0).
     Pow { x: NodeId, p: f32, eps: f32 },
     /// Element-wise `e^x`.
@@ -77,6 +77,7 @@ pub(crate) enum Op {
         z: NodeId,
         ssrc: NodeId,
         sdst: NodeId,
+        slope: f32,
         alpha: Vec<f32>,
         dleaky: Vec<f32>,
     },

@@ -1,0 +1,298 @@
+//! Load generator + latency bench for the `lasagne-serve` TCP server.
+//!
+//! Two modes:
+//!
+//! * **Bench** (default): start an in-process server (from `--frozen PATH`,
+//!   or a freshly built GCN on cora when omitted — serving latency does not
+//!   care whether the weights are trained), then drive it with 1, 8, and 64
+//!   concurrent clients. Per-request latency is measured client-side over
+//!   real TCP; writes `BENCH_serve.json` with p50/p99 and throughput per
+//!   concurrency level.
+//! * **Check** (`--check`): a protocol conformance drive for an already
+//!   running server at `--addr HOST:PORT` — used by `scripts/verify.sh`.
+//!   Sends well-formed, malformed, and out-of-range requests and asserts
+//!   the typed responses; exits non-zero on any surprise.
+//!
+//! ```sh
+//! cargo run --release --bin serve-bench                          # bench, cora GCN
+//! cargo run --release --bin serve-bench -- --smoke               # quick CI smoke
+//! cargo run --release --bin serve-bench -- --check --addr 127.0.0.1:7878
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use lasagne_datasets::{Dataset, DatasetId};
+use lasagne_gnn::{models, GraphContext, Hyper};
+use lasagne_serve::{freeze, Client, Engine, FrozenModel, Request, Server, ServerConfig};
+use lasagne_testkit::rng::Rng;
+use lasagne_testkit::Json;
+
+struct Args {
+    frozen: Option<PathBuf>,
+    addr: Option<String>,
+    out: PathBuf,
+    check: bool,
+    shutdown: bool,
+    smoke: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: serve-bench [--frozen PATH] [--out PATH] [--smoke]");
+    eprintln!("       serve-bench --check --addr HOST:PORT");
+    eprintln!("       serve-bench --shutdown --addr HOST:PORT");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        frozen: None,
+        addr: None,
+        out: PathBuf::from("BENCH_serve.json"),
+        check: false,
+        shutdown: false,
+        smoke: false,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--check" => {
+                args.check = true;
+                i += 1;
+            }
+            "--shutdown" => {
+                args.shutdown = true;
+                i += 1;
+            }
+            "--smoke" => {
+                args.smoke = true;
+                i += 1;
+            }
+            flag @ ("--frozen" | "--addr" | "--out") => {
+                let value = argv.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("{flag}: missing value");
+                    usage()
+                });
+                match flag {
+                    "--frozen" => args.frozen = Some(value.into()),
+                    "--addr" => args.addr = Some(value.clone()),
+                    _ => args.out = value.into(),
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve-bench: {msg}");
+    std::process::exit(1);
+}
+
+/// Load the engine from a frozen file, or freeze an untrained cora GCN.
+fn build_engine(frozen: &Option<PathBuf>) -> Engine {
+    let frozen_model = match frozen {
+        Some(path) => FrozenModel::load(path)
+            .unwrap_or_else(|e| fail(&format!("cannot load {}: {e}", path.display()))),
+        None => {
+            let ds = Dataset::generate(DatasetId::Cora, 0);
+            let ctx = GraphContext::from_dataset(&ds);
+            let hyper = Hyper::for_dataset(DatasetId::Cora);
+            let model = models::Gcn::new(ds.num_features(), ds.num_classes, &hyper, 0);
+            freeze(&model, &ctx, ds.spec.name)
+                .unwrap_or_else(|e| fail(&format!("freeze failed: {e}")))
+        }
+    };
+    Engine::new(frozen_model).unwrap_or_else(|e| fail(&format!("engine build failed: {e}")))
+}
+
+/// One client worker: `n` sequential predicts on its own connection,
+/// returning per-request latencies in microseconds.
+fn drive(addr: &str, n: usize, num_nodes: usize, seed: u64) -> Vec<f64> {
+    let mut client =
+        Client::connect(addr).unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")));
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut latencies = Vec::with_capacity(n);
+    for _ in 0..n {
+        let node = (rng.next_u64() % num_nodes as u64) as usize;
+        let start = Instant::now();
+        let doc = client
+            .call_ok(&Request::Predict { node })
+            .unwrap_or_else(|e| fail(&format!("predict failed: {e}")));
+        latencies.push(start.elapsed().as_secs_f64() * 1e6);
+        debug_assert!(doc.get("class").is_some());
+    }
+    latencies
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn run_bench(args: &Args) {
+    let engine = build_engine(&args.frozen);
+    let num_nodes = engine.num_nodes();
+    let server = Server::start(
+        engine,
+        ServerConfig { addr: "127.0.0.1:0".into(), ..ServerConfig::default() },
+    )
+    .unwrap_or_else(|e| fail(&format!("server start: {e}")));
+    let addr = server.local_addr().to_string();
+
+    let per_client = if args.smoke { 20 } else { 400 };
+    let mut rows: Vec<Json> = Vec::new();
+    for &clients in &[1usize, 8, 64] {
+        let wall = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                std::thread::spawn(move || drive(&addr, per_client, num_nodes, 0x5e4e + c as u64))
+            })
+            .collect();
+        let mut latencies: Vec<f64> = Vec::with_capacity(clients * per_client);
+        for h in handles {
+            latencies.extend(h.join().unwrap_or_else(|_| fail("client thread panicked")));
+        }
+        let elapsed = wall.elapsed().as_secs_f64();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let total = latencies.len();
+        let p50 = percentile(&latencies, 0.50);
+        let p99 = percentile(&latencies, 0.99);
+        let throughput = total as f64 / elapsed;
+        println!(
+            "clients={clients:>3}  requests={total:>6}  p50={p50:>9.1}us  p99={p99:>9.1}us  {throughput:>9.0} req/s"
+        );
+        rows.push(Json::Obj(vec![
+            ("clients".into(), Json::Num(clients as f64)),
+            ("requests".into(), Json::Num(total as f64)),
+            ("p50_us".into(), Json::Num(p50)),
+            ("p99_us".into(), Json::Num(p99)),
+            ("throughput_rps".into(), Json::Num(throughput)),
+        ]));
+    }
+    let stats = server.stats();
+    println!(
+        "server side: {} requests in {} batches (max batch {}, mean {:.2})",
+        stats.requests, stats.batches, stats.max_batch, stats.mean_batch
+    );
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("serve".into())),
+        ("smoke".into(), Json::Bool(args.smoke)),
+        ("levels".into(), Json::Arr(rows)),
+        (
+            "server".into(),
+            Json::Obj(vec![
+                ("requests".into(), Json::Num(stats.requests as f64)),
+                ("batches".into(), Json::Num(stats.batches as f64)),
+                ("max_batch".into(), Json::Num(stats.max_batch as f64)),
+                ("mean_batch".into(), Json::Num(stats.mean_batch)),
+            ]),
+        ),
+    ]);
+    server.shutdown();
+    std::fs::write(&args.out, format!("{doc}\n"))
+        .unwrap_or_else(|e| fail(&format!("write {}: {e}", args.out.display())));
+    println!("wrote {}", args.out.display());
+}
+
+/// Connect with retries — verify.sh starts the server in the background,
+/// so the first attempts may race its bind.
+fn connect_patiently(addr: &str) -> Client {
+    let mut last = String::new();
+    for _ in 0..40 {
+        match Client::connect(addr) {
+            Ok(client) => return client,
+            Err(e) => last = e.to_string(),
+        }
+        std::thread::sleep(std::time::Duration::from_millis(250));
+    }
+    fail(&format!("connect {addr}: {last}"))
+}
+
+/// Protocol conformance drive against a live server (verify.sh stage).
+fn run_check(addr: &str) {
+    let mut client = connect_patiently(addr);
+    let expect = |cond: bool, what: &str| {
+        if !cond {
+            fail(&format!("check failed: {what}"));
+        }
+    };
+
+    // 1. Health names the model.
+    let health = client.call_ok(&Request::Health).unwrap_or_else(|e| fail(&e.to_string()));
+    let num_nodes = health.get("num_nodes").and_then(Json::as_usize).unwrap_or(0);
+    expect(num_nodes > 0, "health must report num_nodes > 0");
+
+    // 2. A valid predict answers with a class and a normalized distribution.
+    let pred =
+        client.call_ok(&Request::Predict { node: 0 }).unwrap_or_else(|e| fail(&e.to_string()));
+    let probs = pred.get("probs").and_then(Json::to_f32s).unwrap_or_default();
+    expect(!probs.is_empty(), "predict must return probs");
+    let mass: f32 = probs.iter().sum();
+    expect((mass - 1.0).abs() < 1e-3, "probs must sum to ~1");
+
+    // 3. top_k is sorted descending.
+    let topk = client
+        .call_ok(&Request::TopK { node: 0, k: 3 })
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let top: &[Json] = topk.get("top").and_then(Json::as_arr).unwrap_or(&[]);
+    expect(!top.is_empty(), "top_k must return entries");
+    let top_probs: Vec<f64> =
+        top.iter().filter_map(|t| t.get("prob").and_then(Json::as_f64)).collect();
+    expect(top_probs.windows(2).all(|w| w[0] >= w[1]), "top_k must be sorted descending");
+
+    // 4. Garbage JSON gets a typed parse error, not a hangup.
+    let garbage = client
+        .roundtrip_raw("{\"op\": \"predict\", node}")
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let doc = Json::parse(&garbage).unwrap_or_else(|e| fail(&format!("garbage response: {e}")));
+    expect(doc.get("ok").and_then(Json::as_bool) == Some(false), "garbage must be ok:false");
+
+    // 5. Unknown node id gets the typed unknown_node error.
+    let oob = client
+        .call(&Request::Predict { node: num_nodes + 17 })
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let kind = oob
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+        .unwrap_or("<missing>")
+        .to_string();
+    expect(kind == "unknown_node", &format!("out-of-range node must be unknown_node, got {kind}"));
+
+    // 6. The server is still healthy after all the abuse.
+    client.call_ok(&Request::Health).unwrap_or_else(|e| fail(&e.to_string()));
+    println!("serve check ok: health, predict, top_k, garbage, unknown node all conform");
+}
+
+fn main() {
+    let args = parse_args();
+    if args.check || args.shutdown {
+        let Some(addr) = &args.addr else {
+            eprintln!("--check/--shutdown need --addr HOST:PORT");
+            usage()
+        };
+        if args.check {
+            run_check(addr);
+        }
+        if args.shutdown {
+            let mut client = connect_patiently(addr);
+            client
+                .call_ok(&Request::Shutdown)
+                .unwrap_or_else(|e| fail(&format!("shutdown: {e}")));
+            println!("server at {addr} acknowledged shutdown");
+        }
+    } else {
+        run_bench(&args);
+    }
+}

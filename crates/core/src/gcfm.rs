@@ -203,7 +203,7 @@ mod tests {
 
         let hs_refs: Vec<&Tensor> = hs_t.iter().collect();
         let w = gcfm.linear_weight(&store);
-        let bias = store.value(store.find("gcfm.b").unwrap()).clone();
+        let bias = store.value(store.require("gcfm.b").expect("gcfm bias registered")).clone();
         let reference = gcfm_reference(
             &hs_refs,
             &w,

@@ -170,8 +170,8 @@ mod tests {
         let _ = GraphConvLayer::new(&mut store, "gc0", 2, 2, &mut rng);
         // Params: w (decayed), b (exempt).
         assert_eq!(store.len(), 2);
-        let b = store.find("gc0.b").unwrap();
-        let w = store.find("gc0.w").unwrap();
+        let b = store.require("gc0.b").expect("bias registered");
+        let w = store.require("gc0.w").expect("weight registered");
         assert_eq!(store.decay_factor(b), 0.0);
         assert_eq!(store.decay_factor(w), 1.0);
     }

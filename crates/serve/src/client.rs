@@ -1,0 +1,76 @@
+//! Minimal blocking client for the wire protocol — used by the
+//! fault-injection tests, the `serve-bench` load generator, and the
+//! verify-script drive.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use lasagne_testkit::Json;
+
+use crate::error::{ServeError, ServeResult};
+use crate::protocol::Request;
+
+/// One persistent connection to a model server.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `"127.0.0.1:7878"`).
+    pub fn connect(addr: &str) -> ServeResult<Client> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ServeError::Io(format!("connect {addr}: {e}")))?;
+        // One-line requests + one-line responses are exactly the traffic
+        // pattern Nagle + delayed ACK punishes (~40-200 ms stalls).
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(
+            stream.try_clone().map_err(|e| ServeError::Io(format!("clone stream: {e}")))?,
+        );
+        Ok(Client { writer: stream, reader })
+    }
+
+    /// Send one raw line and read one response line (lets tests send
+    /// garbage or truncated requests on purpose).
+    pub fn roundtrip_raw(&mut self, line: &str) -> ServeResult<String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .map_err(|e| ServeError::Io(format!("send: {e}")))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| ServeError::Io(format!("recv: {e}")))?;
+        if n == 0 {
+            return Err(ServeError::Io("server closed the connection".into()));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Send a typed request and parse the JSON response.
+    pub fn call(&mut self, request: &Request) -> ServeResult<Json> {
+        let line = self.roundtrip_raw(&request.to_line())?;
+        Json::parse(&line).map_err(|e| ServeError::Parse(format!("response: {e}")))
+    }
+
+    /// Send a typed request, parse the response, and fail on `ok:false`
+    /// with the server's error kind + message.
+    pub fn call_ok(&mut self, request: &Request) -> ServeResult<Json> {
+        let doc = self.call(request)?;
+        if doc.get("ok").and_then(Json::as_bool) == Some(true) {
+            return Ok(doc);
+        }
+        let kind = doc
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+            .unwrap_or("unknown");
+        let message = doc
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or("<no message>");
+        Err(ServeError::BadRequest(format!("server error [{kind}]: {message}")))
+    }
+}

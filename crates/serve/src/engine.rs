@@ -1,0 +1,190 @@
+//! The tape-free forward engine.
+//!
+//! [`evaluate_program`] interprets an exported [`Program`] by calling the
+//! exact same `lasagne-tensor` / `lasagne-sparse` kernels the autograd tape
+//! constructors call, in the same topological order — which is what makes a
+//! frozen forward bitwise-identical to the training-path eval forward, at
+//! any `lasagne-par` thread count (the parallel runtime's determinism
+//! contract says threads change wall-clock, never bits).
+//!
+//! [`Engine`] adds the **propagation cache**: for a transductive model the
+//! graph, features, and weights are all frozen, so the full-graph program is
+//! evaluated exactly once at load time and every node query after that is a
+//! row lookup plus a softmax — no per-request linear algebra at all. That is
+//! also why the engine is `Send + Sync` (plain tensors, no `Rc`): the
+//! program is consumed at construction and only its cached output survives.
+
+use lasagne_autograd::{gat_attention, Program, ProgramOp};
+use lasagne_tensor::Tensor;
+
+use crate::error::{ServeError, ServeResult};
+use crate::frozen::{FrozenMeta, FrozenModel};
+
+/// Evaluate `program`, binding `Param` leaves against `weights` by name.
+/// Returns the output tensor (for a classifier: `N×F` logits).
+pub fn evaluate_program(program: &Program, weights: &[(String, Tensor)]) -> ServeResult<Tensor> {
+    lasagne_obs::span!("serve.evaluate");
+    let lookup = |name: &str| -> ServeResult<&Tensor> {
+        weights
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+            .ok_or_else(|| ServeError::MissingParam(name.to_string()))
+    };
+    let mut values: Vec<Tensor> = Vec::with_capacity(program.ops.len());
+    for op in &program.ops {
+        let v = |i: usize| -> &Tensor { &values[i] };
+        let out = match op {
+            ProgramOp::Constant { value } => value.clone(),
+            ProgramOp::Param { name } => lookup(name)?.clone(),
+            ProgramOp::MatMul { a, b } => v(*a).matmul(v(*b)),
+            ProgramOp::SpMM { m, x } => program.sparse[*m].spmm(v(*x)),
+            ProgramOp::Add { a, b } => v(*a).add(v(*b)),
+            ProgramOp::Sub { a, b } => v(*a).sub(v(*b)),
+            ProgramOp::Mul { a, b } => v(*a).mul(v(*b)),
+            ProgramOp::Div { a, b } => v(*a).div(v(*b)),
+            ProgramOp::Scale { x, alpha } => v(*x).scale(*alpha),
+            ProgramOp::AddConst { x, c } => v(*x).add_scalar(*c),
+            ProgramOp::Pow { x, p, eps } => {
+                let (p, eps) = (*p, *eps);
+                v(*x).map(|t| (t + eps).powf(p))
+            }
+            ProgramOp::Exp { x } => v(*x).map(f32::exp),
+            ProgramOp::Relu { x } => v(*x).relu(),
+            ProgramOp::LeakyRelu { x, slope } => v(*x).leaky_relu(*slope),
+            ProgramOp::Sigmoid { x } => v(*x).sigmoid(),
+            ProgramOp::Tanh { x } => v(*x).tanh(),
+            ProgramOp::AddRowBroadcast { x, b } => v(*x).add_row_broadcast(v(*b)),
+            ProgramOp::AddColBroadcast { x, c } => v(*x).add_col_broadcast(v(*c)),
+            ProgramOp::MulColBroadcast { x, c } => v(*x).mul_col_broadcast(v(*c)),
+            ProgramOp::MulScalarNode { x, s } => v(*x).scale(v(*s).get(0, 0)),
+            ProgramOp::LogSoftmax { x } => v(*x).log_softmax_rows(),
+            ProgramOp::ConcatCols { parts } => {
+                let tensors: Vec<&Tensor> = parts.iter().map(|&p| v(p)).collect();
+                Tensor::concat_cols(&tensors)
+            }
+            ProgramOp::SliceCols { x, lo, hi } => v(*x).slice_cols(*lo, *hi),
+            ProgramOp::GatherRows { x, idx } => v(*x).gather_rows(idx),
+            ProgramOp::SumAll { x } => Tensor::full(1, 1, v(*x).sum()),
+            ProgramOp::SumRows { x } => v(*x).sum_rows(),
+            ProgramOp::SumCols { x } => v(*x).sum_cols(),
+            ProgramOp::MaxStack { parts } => {
+                // Mirror of `Tape::max_stack`: clone the first part, then
+                // fold element-wise max with strict `>` so ties keep the
+                // earliest layer — same comparison, same bits.
+                let mut acc = v(parts[0]).clone();
+                for &p in &parts[1..] {
+                    let pv = v(p);
+                    for (best, cand) in acc.as_mut_slice().iter_mut().zip(pv.as_slice()) {
+                        if *cand > *best {
+                            *best = *cand;
+                        }
+                    }
+                }
+                acc
+            }
+            ProgramOp::GatAggregate { adj, z, ssrc, sdst, slope } => {
+                gat_attention(&program.sparse[*adj], v(*z), v(*ssrc), v(*sdst), *slope).out
+            }
+        };
+        values.push(out);
+    }
+    Ok(values.swap_remove(program.output))
+}
+
+/// One node's answer: the argmax class and the full softmax distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Queried node id.
+    pub node: usize,
+    /// Argmax class.
+    pub class: usize,
+    /// Softmax probabilities, one per class.
+    pub probs: Vec<f32>,
+}
+
+/// A loaded model ready to answer node queries out of its propagation
+/// cache. Construction runs the frozen program once; queries are O(classes).
+pub struct Engine {
+    meta: FrozenMeta,
+    /// Full-graph logits — the propagation cache.
+    logits: Tensor,
+    /// Full-graph softmax rows, cached alongside (clients overwhelmingly
+    /// want probabilities).
+    probs: Tensor,
+}
+
+impl Engine {
+    /// Evaluate `frozen`'s program over the whole graph and cache the
+    /// result. Fails if the program references a weight the file does not
+    /// carry, or if its output shape contradicts the metadata.
+    pub fn new(frozen: FrozenModel) -> ServeResult<Engine> {
+        lasagne_obs::span!("serve.engine.load");
+        let logits = evaluate_program(&frozen.program, &frozen.weights)?;
+        if logits.shape() != (frozen.meta.num_nodes, frozen.meta.num_classes) {
+            return Err(ServeError::Mismatch(format!(
+                "program output is {:?} but metadata says {} nodes × {} classes",
+                logits.shape(),
+                frozen.meta.num_nodes,
+                frozen.meta.num_classes
+            )));
+        }
+        let probs = logits.softmax_rows();
+        Ok(Engine { meta: frozen.meta, logits, probs })
+    }
+
+    /// Provenance/shape metadata of the loaded model.
+    pub fn meta(&self) -> &FrozenMeta {
+        &self.meta
+    }
+
+    /// Nodes in the frozen graph (valid query ids are `0..num_nodes`).
+    pub fn num_nodes(&self) -> usize {
+        self.meta.num_nodes
+    }
+
+    /// Output classes.
+    pub fn num_classes(&self) -> usize {
+        self.meta.num_classes
+    }
+
+    fn check_node(&self, node: usize) -> ServeResult<()> {
+        if node >= self.meta.num_nodes {
+            return Err(ServeError::UnknownNode { node, num_nodes: self.meta.num_nodes });
+        }
+        Ok(())
+    }
+
+    /// Raw logits row for a node (bitwise-comparable against the training
+    /// path's eval forward).
+    pub fn logits_row(&self, node: usize) -> ServeResult<&[f32]> {
+        self.check_node(node)?;
+        Ok(self.logits.row(node))
+    }
+
+    /// Argmax class + softmax distribution for a node.
+    pub fn predict(&self, node: usize) -> ServeResult<Prediction> {
+        self.check_node(node)?;
+        let probs = self.probs.row(node);
+        let class = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        Ok(Prediction { node, class, probs: probs.to_vec() })
+    }
+
+    /// The `k` most probable classes for a node, most probable first
+    /// (ties broken by lower class id; `k` is clamped to the class count).
+    pub fn top_k(&self, node: usize, k: usize) -> ServeResult<Vec<(usize, f32)>> {
+        self.check_node(node)?;
+        let probs = self.probs.row(node);
+        let mut ranked: Vec<(usize, f32)> = probs.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(k.min(self.meta.num_classes));
+        Ok(ranked)
+    }
+}

@@ -1,0 +1,107 @@
+//! The serving error type. Every failure a client or operator can trigger —
+//! bad files, bad requests, unknown nodes, worker panics — maps to a typed
+//! variant, and every variant maps to a stable wire `kind` string, so
+//! clients can branch on failures without parsing prose.
+
+use std::fmt;
+
+use lasagne_autograd::{ExportError, ModelError};
+use lasagne_train::TrainError;
+
+/// `Result` alias for the serving subsystem.
+pub type ServeResult<T> = Result<T, ServeError>;
+
+/// Everything that can go wrong between a frozen-model file and a client
+/// response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Filesystem / socket failure.
+    Io(String),
+    /// Unparseable JSON (file or wire).
+    Parse(String),
+    /// Checksum mismatch: the file was damaged after it was written.
+    Corrupt(String),
+    /// Structurally valid but wrong for this model (version, shapes, kinds).
+    Mismatch(String),
+    /// The frozen program references a weight the file does not carry.
+    MissingParam(String),
+    /// Query for a node id outside the frozen graph.
+    UnknownNode {
+        /// The requested node id.
+        node: usize,
+        /// Number of nodes in the frozen graph.
+        num_nodes: usize,
+    },
+    /// A syntactically valid request the server refuses (missing fields,
+    /// bad types, unknown op).
+    BadRequest(String),
+    /// The model could not be exported (train-only ops on the tape).
+    Export(String),
+    /// A worker panicked while handling the request; the server survives
+    /// and reports this.
+    Internal(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable discriminator used on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Io(_) => "io",
+            ServeError::Parse(_) => "parse",
+            ServeError::Corrupt(_) => "corrupt",
+            ServeError::Mismatch(_) => "mismatch",
+            ServeError::MissingParam(_) => "missing_param",
+            ServeError::UnknownNode { .. } => "unknown_node",
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::Export(_) => "export",
+            ServeError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(m) => write!(f, "io error: {m}"),
+            ServeError::Parse(m) => write!(f, "parse error: {m}"),
+            ServeError::Corrupt(m) => write!(f, "corrupt frozen model: {m}"),
+            ServeError::Mismatch(m) => write!(f, "mismatch: {m}"),
+            ServeError::MissingParam(name) => {
+                write!(f, "frozen program needs parameter '{name}' but the file does not carry it")
+            }
+            ServeError::UnknownNode { node, num_nodes } => {
+                write!(f, "unknown node {node} (frozen graph has {num_nodes} nodes)")
+            }
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Export(m) => write!(f, "export failed: {m}"),
+            ServeError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<TrainError> for ServeError {
+    fn from(e: TrainError) -> ServeError {
+        match e {
+            TrainError::Io(m) => ServeError::Io(m),
+            TrainError::Parse(m) => ServeError::Parse(m),
+            TrainError::Corrupt(m) => ServeError::Corrupt(m),
+            other => ServeError::Mismatch(other.to_string()),
+        }
+    }
+}
+
+impl From<ModelError> for ServeError {
+    fn from(e: ModelError) -> ServeError {
+        match e {
+            ModelError::MissingParam(name) => ServeError::MissingParam(name),
+        }
+    }
+}
+
+impl From<ExportError> for ServeError {
+    fn from(e: ExportError) -> ServeError {
+        ServeError::Export(e.to_string())
+    }
+}

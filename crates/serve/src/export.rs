@@ -1,0 +1,47 @@
+//! Freezing: turn a trained [`NodeClassifier`] into a [`FrozenModel`].
+//!
+//! The model's `Mode::Eval` forward is recorded on a throwaway tape (eval
+//! forwards are deterministic — dropout is off, DropEdge uses the full
+//! `Â`, stochastic gates run at expectation — so the RNG passed in is never
+//! consulted in a way that affects the output), the logits subgraph is
+//! exported as a tape-free program, and the full parameter store is copied
+//! out by name.
+
+use lasagne_gnn::{GraphContext, Mode, NodeClassifier};
+use lasagne_tensor::TensorRng;
+
+use lasagne_autograd::Tape;
+
+use crate::error::ServeResult;
+use crate::frozen::{FrozenMeta, FrozenModel};
+
+/// Export `model`'s eval forward on `ctx` as a frozen inference artifact.
+/// `dataset` is recorded as provenance (e.g. `"cora"`).
+pub fn freeze(
+    model: &dyn NodeClassifier,
+    ctx: &GraphContext,
+    dataset: &str,
+) -> ServeResult<FrozenModel> {
+    lasagne_obs::span!("serve.freeze");
+    // Eval forwards never sample, but the trait takes an RNG; any seed gives
+    // the same tape.
+    let mut rng = TensorRng::seed_from_u64(0);
+    let mut tape = Tape::new();
+    let out = model.forward(&mut tape, ctx, Mode::Eval, &mut rng);
+    let store = model.store();
+    let program = tape.export_program(store, out.logits)?;
+    let weights = store
+        .iter()
+        .map(|(id, t)| (store.name(id).to_string(), t.clone()))
+        .collect();
+    Ok(FrozenModel {
+        meta: FrozenMeta {
+            model: model.name(),
+            dataset: dataset.to_string(),
+            num_nodes: ctx.num_nodes(),
+            num_classes: ctx.num_classes,
+        },
+        weights,
+        program,
+    })
+}

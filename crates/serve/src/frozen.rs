@@ -1,0 +1,438 @@
+//! The on-disk frozen model format (DESIGN.md §10).
+//!
+//! A frozen model is everything inference needs and nothing training does:
+//! a small metadata block, the named weight tensors, the deduplicated
+//! sparse operators, and the exported eval-forward [`Program`]. It is
+//! serialized with the workspace JSON codec inside the same
+//! `{format_version, checksum, body}` envelope as training checkpoints
+//! (FNV-1a 64 over the canonical body bytes, atomic tmp+rename publish),
+//! so torn writes and bit flips are detected before a single weight binds.
+//!
+//! The codec round-trips every `f32` exactly and emits insertion-ordered
+//! objects, so exporting the same trained model twice produces
+//! **byte-identical** files — verified in `scripts/verify.sh` with `cmp`.
+
+use std::path::Path;
+use std::rc::Rc;
+
+use lasagne_autograd::{Program, ProgramOp};
+use lasagne_sparse::Csr;
+use lasagne_tensor::Tensor;
+use lasagne_testkit::Json;
+use lasagne_train::{
+    atomic_write_envelope, named_param_from_json, named_param_to_json, read_envelope,
+    tensor_from_json, tensor_to_json,
+};
+
+use crate::error::{ServeError, ServeResult};
+
+/// Provenance and shape facts about a frozen model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrozenMeta {
+    /// Model display name (e.g. `"GCN"`, `"Lasagne-Weighted"`).
+    pub model: String,
+    /// Dataset the transductive graph came from (e.g. `"cora"`).
+    pub dataset: String,
+    /// Nodes in the frozen graph — the valid query id range.
+    pub num_nodes: usize,
+    /// Output classes.
+    pub num_classes: usize,
+}
+
+/// A self-contained inference artifact: metadata, weights, and the exported
+/// eval-forward program.
+pub struct FrozenModel {
+    /// Provenance/shape metadata.
+    pub meta: FrozenMeta,
+    /// Named weight tensors, in [`lasagne_autograd::ParamStore`] order.
+    pub weights: Vec<(String, Tensor)>,
+    /// The tape-free forward program (references weights by name and sparse
+    /// operators by table index).
+    pub program: Program,
+}
+
+fn num(v: usize) -> Json {
+    Json::Num(v as f64)
+}
+
+fn f32_bits(v: f32) -> Json {
+    // f32 constants ride as bit-exact hex so NaN payloads and negative
+    // zero survive the trip (plain JSON numbers would lose NaN entirely).
+    Json::Str(format!("{:08x}", v.to_bits()))
+}
+
+fn f32_from_bits(j: Option<&Json>, what: &str) -> ServeResult<f32> {
+    j.and_then(Json::as_str)
+        .and_then(|s| u32::from_str_radix(s, 16).ok())
+        .map(f32::from_bits)
+        .ok_or_else(|| ServeError::Parse(format!("{what}: missing or malformed f32 bits")))
+}
+
+fn field<'a>(j: &'a Json, k: &str, what: &str) -> ServeResult<&'a Json> {
+    j.get(k).ok_or_else(|| ServeError::Parse(format!("{what}: missing field '{k}'")))
+}
+
+fn usize_field(j: &Json, k: &str, what: &str) -> ServeResult<usize> {
+    field(j, k, what)?
+        .as_usize()
+        .ok_or_else(|| ServeError::Parse(format!("{what}: field '{k}' not an integer")))
+}
+
+fn str_field<'a>(j: &'a Json, k: &str, what: &str) -> ServeResult<&'a str> {
+    field(j, k, what)?
+        .as_str()
+        .ok_or_else(|| ServeError::Parse(format!("{what}: field '{k}' not a string")))
+}
+
+fn usize_arr(j: &Json, k: &str, what: &str) -> ServeResult<Vec<usize>> {
+    field(j, k, what)?
+        .as_arr()
+        .ok_or_else(|| ServeError::Parse(format!("{what}: field '{k}' not an array")))?
+        .iter()
+        .map(|v| {
+            v.as_usize()
+                .ok_or_else(|| ServeError::Parse(format!("{what}: '{k}' entry not an integer")))
+        })
+        .collect()
+}
+
+fn csr_to_json(m: &Csr) -> Json {
+    Json::Obj(vec![
+        ("rows".into(), num(m.rows())),
+        ("cols".into(), num(m.cols())),
+        ("indptr".into(), Json::Arr(m.indptr().iter().map(|&p| num(p)).collect())),
+        ("indices".into(), Json::Arr(m.indices().iter().map(|&c| num(c as usize)).collect())),
+        ("values".into(), Json::from_f32s(m.values().iter().copied())),
+    ])
+}
+
+fn csr_from_json(j: &Json) -> ServeResult<Csr> {
+    let rows = usize_field(j, "rows", "sparse")?;
+    let cols = usize_field(j, "cols", "sparse")?;
+    let indptr = usize_arr(j, "indptr", "sparse")?;
+    let indices: Vec<u32> =
+        usize_arr(j, "indices", "sparse")?.into_iter().map(|c| c as u32).collect();
+    let values = field(j, "values", "sparse")?
+        .to_f32s()
+        .ok_or_else(|| ServeError::Parse("sparse: 'values' not a number array".into()))?;
+    if indptr.len() != rows + 1
+        || indptr.first() != Some(&0)
+        || indptr.last() != Some(&indices.len())
+        || indices.len() != values.len()
+        || indptr.windows(2).any(|w| w[0] > w[1])
+        || indices.iter().any(|&c| c as usize >= cols)
+    {
+        return Err(ServeError::Mismatch("sparse: inconsistent CSR arrays".into()));
+    }
+    Ok(Csr::from_parts(rows, cols, indptr, indices, values))
+}
+
+fn op_to_json(op: &ProgramOp) -> Json {
+    use ProgramOp::*;
+    let mut fields: Vec<(String, Json)> = Vec::with_capacity(4);
+    let tag = |t: &str, fields: &mut Vec<(String, Json)>| {
+        fields.push(("op".into(), Json::Str(t.into())));
+    };
+    match op {
+        Constant { value } => {
+            tag("constant", &mut fields);
+            fields.push(("value".into(), tensor_to_json(value)));
+        }
+        Param { name } => {
+            tag("param", &mut fields);
+            fields.push(("name".into(), Json::Str(name.clone())));
+        }
+        MatMul { a, b } => {
+            tag("matmul", &mut fields);
+            fields.push(("a".into(), num(*a)));
+            fields.push(("b".into(), num(*b)));
+        }
+        SpMM { m, x } => {
+            tag("spmm", &mut fields);
+            fields.push(("m".into(), num(*m)));
+            fields.push(("x".into(), num(*x)));
+        }
+        Add { a, b } => {
+            tag("add", &mut fields);
+            fields.push(("a".into(), num(*a)));
+            fields.push(("b".into(), num(*b)));
+        }
+        Sub { a, b } => {
+            tag("sub", &mut fields);
+            fields.push(("a".into(), num(*a)));
+            fields.push(("b".into(), num(*b)));
+        }
+        Mul { a, b } => {
+            tag("mul", &mut fields);
+            fields.push(("a".into(), num(*a)));
+            fields.push(("b".into(), num(*b)));
+        }
+        Div { a, b } => {
+            tag("div", &mut fields);
+            fields.push(("a".into(), num(*a)));
+            fields.push(("b".into(), num(*b)));
+        }
+        Scale { x, alpha } => {
+            tag("scale", &mut fields);
+            fields.push(("x".into(), num(*x)));
+            fields.push(("alpha".into(), f32_bits(*alpha)));
+        }
+        AddConst { x, c } => {
+            tag("add_const", &mut fields);
+            fields.push(("x".into(), num(*x)));
+            fields.push(("c".into(), f32_bits(*c)));
+        }
+        Pow { x, p, eps } => {
+            tag("pow", &mut fields);
+            fields.push(("x".into(), num(*x)));
+            fields.push(("p".into(), f32_bits(*p)));
+            fields.push(("eps".into(), f32_bits(*eps)));
+        }
+        Exp { x } => {
+            tag("exp", &mut fields);
+            fields.push(("x".into(), num(*x)));
+        }
+        Relu { x } => {
+            tag("relu", &mut fields);
+            fields.push(("x".into(), num(*x)));
+        }
+        LeakyRelu { x, slope } => {
+            tag("leaky_relu", &mut fields);
+            fields.push(("x".into(), num(*x)));
+            fields.push(("slope".into(), f32_bits(*slope)));
+        }
+        Sigmoid { x } => {
+            tag("sigmoid", &mut fields);
+            fields.push(("x".into(), num(*x)));
+        }
+        Tanh { x } => {
+            tag("tanh", &mut fields);
+            fields.push(("x".into(), num(*x)));
+        }
+        AddRowBroadcast { x, b } => {
+            tag("add_row_broadcast", &mut fields);
+            fields.push(("x".into(), num(*x)));
+            fields.push(("b".into(), num(*b)));
+        }
+        AddColBroadcast { x, c } => {
+            tag("add_col_broadcast", &mut fields);
+            fields.push(("x".into(), num(*x)));
+            fields.push(("c".into(), num(*c)));
+        }
+        MulColBroadcast { x, c } => {
+            tag("mul_col_broadcast", &mut fields);
+            fields.push(("x".into(), num(*x)));
+            fields.push(("c".into(), num(*c)));
+        }
+        MulScalarNode { x, s } => {
+            tag("mul_scalar_node", &mut fields);
+            fields.push(("x".into(), num(*x)));
+            fields.push(("s".into(), num(*s)));
+        }
+        LogSoftmax { x } => {
+            tag("log_softmax", &mut fields);
+            fields.push(("x".into(), num(*x)));
+        }
+        ConcatCols { parts } => {
+            tag("concat_cols", &mut fields);
+            fields.push(("parts".into(), Json::Arr(parts.iter().map(|&p| num(p)).collect())));
+        }
+        SliceCols { x, lo, hi } => {
+            tag("slice_cols", &mut fields);
+            fields.push(("x".into(), num(*x)));
+            fields.push(("lo".into(), num(*lo)));
+            fields.push(("hi".into(), num(*hi)));
+        }
+        GatherRows { x, idx } => {
+            tag("gather_rows", &mut fields);
+            fields.push(("x".into(), num(*x)));
+            fields.push(("idx".into(), Json::Arr(idx.iter().map(|&i| num(i)).collect())));
+        }
+        SumAll { x } => {
+            tag("sum_all", &mut fields);
+            fields.push(("x".into(), num(*x)));
+        }
+        SumRows { x } => {
+            tag("sum_rows", &mut fields);
+            fields.push(("x".into(), num(*x)));
+        }
+        SumCols { x } => {
+            tag("sum_cols", &mut fields);
+            fields.push(("x".into(), num(*x)));
+        }
+        MaxStack { parts } => {
+            tag("max_stack", &mut fields);
+            fields.push(("parts".into(), Json::Arr(parts.iter().map(|&p| num(p)).collect())));
+        }
+        GatAggregate { adj, z, ssrc, sdst, slope } => {
+            tag("gat_aggregate", &mut fields);
+            fields.push(("adj".into(), num(*adj)));
+            fields.push(("z".into(), num(*z)));
+            fields.push(("ssrc".into(), num(*ssrc)));
+            fields.push(("sdst".into(), num(*sdst)));
+            fields.push(("slope".into(), f32_bits(*slope)));
+        }
+    }
+    Json::Obj(fields)
+}
+
+fn op_from_json(j: &Json, n_ops: usize, n_sparse: usize) -> ServeResult<ProgramOp> {
+    let tag = str_field(j, "op", "program op")?;
+    let node = |k: &str| -> ServeResult<usize> {
+        let v = usize_field(j, k, tag)?;
+        if v >= n_ops {
+            return Err(ServeError::Mismatch(format!("{tag}: operand '{k}' = {v} out of range")));
+        }
+        Ok(v)
+    };
+    let nodes = |k: &str| -> ServeResult<Vec<usize>> {
+        let parts = usize_arr(j, k, tag)?;
+        if let Some(&bad) = parts.iter().find(|&&p| p >= n_ops) {
+            return Err(ServeError::Mismatch(format!("{tag}: operand in '{k}' = {bad} out of range")));
+        }
+        Ok(parts)
+    };
+    let sparse = |k: &str| -> ServeResult<usize> {
+        let v = usize_field(j, k, tag)?;
+        if v >= n_sparse {
+            return Err(ServeError::Mismatch(format!(
+                "{tag}: sparse ref '{k}' = {v} out of range (table has {n_sparse})"
+            )));
+        }
+        Ok(v)
+    };
+    let bits = |k: &str| f32_from_bits(j.get(k), tag);
+    Ok(match tag {
+        "constant" => ProgramOp::Constant {
+            value: tensor_from_json(field(j, "value", tag)?).map_err(ServeError::from)?,
+        },
+        "param" => ProgramOp::Param { name: str_field(j, "name", tag)?.to_string() },
+        "matmul" => ProgramOp::MatMul { a: node("a")?, b: node("b")? },
+        "spmm" => ProgramOp::SpMM { m: sparse("m")?, x: node("x")? },
+        "add" => ProgramOp::Add { a: node("a")?, b: node("b")? },
+        "sub" => ProgramOp::Sub { a: node("a")?, b: node("b")? },
+        "mul" => ProgramOp::Mul { a: node("a")?, b: node("b")? },
+        "div" => ProgramOp::Div { a: node("a")?, b: node("b")? },
+        "scale" => ProgramOp::Scale { x: node("x")?, alpha: bits("alpha")? },
+        "add_const" => ProgramOp::AddConst { x: node("x")?, c: bits("c")? },
+        "pow" => ProgramOp::Pow { x: node("x")?, p: bits("p")?, eps: bits("eps")? },
+        "exp" => ProgramOp::Exp { x: node("x")? },
+        "relu" => ProgramOp::Relu { x: node("x")? },
+        "leaky_relu" => ProgramOp::LeakyRelu { x: node("x")?, slope: bits("slope")? },
+        "sigmoid" => ProgramOp::Sigmoid { x: node("x")? },
+        "tanh" => ProgramOp::Tanh { x: node("x")? },
+        "add_row_broadcast" => ProgramOp::AddRowBroadcast { x: node("x")?, b: node("b")? },
+        "add_col_broadcast" => ProgramOp::AddColBroadcast { x: node("x")?, c: node("c")? },
+        "mul_col_broadcast" => ProgramOp::MulColBroadcast { x: node("x")?, c: node("c")? },
+        "mul_scalar_node" => ProgramOp::MulScalarNode { x: node("x")?, s: node("s")? },
+        "log_softmax" => ProgramOp::LogSoftmax { x: node("x")? },
+        "concat_cols" => ProgramOp::ConcatCols { parts: nodes("parts")? },
+        "slice_cols" => {
+            ProgramOp::SliceCols { x: node("x")?, lo: usize_field(j, "lo", tag)?, hi: usize_field(j, "hi", tag)? }
+        }
+        "gather_rows" => ProgramOp::GatherRows { x: node("x")?, idx: usize_arr(j, "idx", tag)? },
+        "sum_all" => ProgramOp::SumAll { x: node("x")? },
+        "sum_rows" => ProgramOp::SumRows { x: node("x")? },
+        "sum_cols" => ProgramOp::SumCols { x: node("x")? },
+        "max_stack" => ProgramOp::MaxStack { parts: nodes("parts")? },
+        "gat_aggregate" => ProgramOp::GatAggregate {
+            adj: sparse("adj")?,
+            z: node("z")?,
+            ssrc: node("ssrc")?,
+            sdst: node("sdst")?,
+            slope: bits("slope")?,
+        },
+        other => return Err(ServeError::Parse(format!("unknown program op '{other}'"))),
+    })
+}
+
+impl FrozenModel {
+    /// Serialize into the envelope body (`"kind":"frozen_model"`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str("frozen_model".into())),
+            (
+                "meta".into(),
+                Json::Obj(vec![
+                    ("model".into(), Json::Str(self.meta.model.clone())),
+                    ("dataset".into(), Json::Str(self.meta.dataset.clone())),
+                    ("num_nodes".into(), num(self.meta.num_nodes)),
+                    ("num_classes".into(), num(self.meta.num_classes)),
+                ]),
+            ),
+            (
+                "weights".into(),
+                Json::Arr(self.weights.iter().map(|(n, t)| named_param_to_json(n, t)).collect()),
+            ),
+            (
+                "sparse".into(),
+                Json::Arr(self.program.sparse.iter().map(|m| csr_to_json(m)).collect()),
+            ),
+            (
+                "program".into(),
+                Json::Obj(vec![
+                    ("ops".into(), Json::Arr(self.program.ops.iter().map(op_to_json).collect())),
+                    ("output".into(), num(self.program.output)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Parse an envelope body written by [`FrozenModel::to_json`].
+    pub fn from_json(body: &Json) -> ServeResult<FrozenModel> {
+        if body.get("kind").and_then(Json::as_str) != Some("frozen_model") {
+            return Err(ServeError::Mismatch(
+                "not a frozen model (kind field; did you pass a training checkpoint?)".into(),
+            ));
+        }
+        let meta = field(body, "meta", "frozen model")?;
+        let meta = FrozenMeta {
+            model: str_field(meta, "model", "meta")?.to_string(),
+            dataset: str_field(meta, "dataset", "meta")?.to_string(),
+            num_nodes: usize_field(meta, "num_nodes", "meta")?,
+            num_classes: usize_field(meta, "num_classes", "meta")?,
+        };
+        let weights = field(body, "weights", "frozen model")?
+            .as_arr()
+            .ok_or_else(|| ServeError::Parse("weights not an array".into()))?
+            .iter()
+            .map(|p| named_param_from_json(p).map_err(ServeError::from))
+            .collect::<ServeResult<Vec<_>>>()?;
+        let sparse = field(body, "sparse", "frozen model")?
+            .as_arr()
+            .ok_or_else(|| ServeError::Parse("sparse table not an array".into()))?
+            .iter()
+            .map(|m| csr_from_json(m).map(Rc::new))
+            .collect::<ServeResult<Vec<_>>>()?;
+        let prog = field(body, "program", "frozen model")?;
+        let ops_json = field(prog, "ops", "program")?
+            .as_arr()
+            .ok_or_else(|| ServeError::Parse("program ops not an array".into()))?;
+        let ops = ops_json
+            .iter()
+            .map(|op| op_from_json(op, ops_json.len(), sparse.len()))
+            .collect::<ServeResult<Vec<_>>>()?;
+        let output = usize_field(prog, "output", "program")?;
+        if output >= ops.len() {
+            return Err(ServeError::Mismatch(format!(
+                "program output {output} out of range ({} ops)",
+                ops.len()
+            )));
+        }
+        Ok(FrozenModel { meta, weights, program: Program { ops, sparse, output } })
+    }
+
+    /// Write to `path` under the checksum envelope, atomically. The output is
+    /// byte-deterministic: freezing the same weights twice gives `cmp`-equal
+    /// files.
+    pub fn save(&self, path: &Path) -> ServeResult<()> {
+        lasagne_obs::span!("serve.freeze.save");
+        atomic_write_envelope(path, self.to_json()).map_err(ServeError::from)
+    }
+
+    /// Load and checksum-verify a frozen model file.
+    pub fn load(path: &Path) -> ServeResult<FrozenModel> {
+        lasagne_obs::span!("serve.freeze.load");
+        FrozenModel::from_json(&read_envelope(path).map_err(ServeError::from)?)
+    }
+}

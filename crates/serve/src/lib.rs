@@ -1,0 +1,52 @@
+//! `lasagne-serve`: the inference subsystem (DESIGN.md §10).
+//!
+//! Training builds a fresh autograd tape per forward pass; serving should
+//! not. This crate closes the gap in three layers:
+//!
+//! 1. **Frozen model format** ([`FrozenModel`]) — a self-contained on-disk
+//!    artifact: metadata, named weights, deduplicated sparse operators, and
+//!    the model's eval-mode forward exported as a static op program
+//!    ([`lasagne_autograd::Program`]). Serialized with the workspace JSON
+//!    codec inside the same FNV-1a checksum envelope as training
+//!    checkpoints; exports are byte-deterministic.
+//! 2. **Tape-free engine** ([`Engine`]) — interprets the program with the
+//!    exact kernels the tape would have called, so frozen logits are
+//!    bitwise-identical to the training path's eval forward at any thread
+//!    count. The full-graph result is computed once at load (the
+//!    *propagation cache*); per-node queries are row lookups.
+//! 3. **Batched TCP server** ([`Server`]) — newline-delimited JSON over
+//!    `std::net`, a micro-batcher that coalesces concurrent requests,
+//!    panic isolation per request, and latency/batch counters surfaced via
+//!    `stats` and `lasagne-obs`.
+//!
+//! ```no_run
+//! use lasagne_serve::{freeze, Engine, FrozenModel, Server, ServerConfig};
+//! # fn demo(model: &dyn lasagne_gnn::NodeClassifier, ctx: &lasagne_gnn::GraphContext)
+//! # -> lasagne_serve::ServeResult<()> {
+//! let frozen = freeze(model, ctx, "cora")?;
+//! frozen.save(std::path::Path::new("model.frozen.json"))?;
+//!
+//! let engine = Engine::new(FrozenModel::load(std::path::Path::new("model.frozen.json"))?)?;
+//! let server = Server::start(engine, ServerConfig::default())?;
+//! println!("serving on {}", server.local_addr());
+//! # Ok(()) }
+//! ```
+
+mod client;
+mod engine;
+mod error;
+mod export;
+mod frozen;
+mod protocol;
+mod server;
+
+pub use client::Client;
+pub use engine::{evaluate_program, Engine, Prediction};
+pub use error::{ServeError, ServeResult};
+pub use export::freeze;
+pub use frozen::{FrozenMeta, FrozenModel};
+pub use protocol::{
+    error_response, health_response, predict_response, shutdown_response, stats_response,
+    top_k_response, Request, StatsSnapshot,
+};
+pub use server::{Server, ServerConfig};

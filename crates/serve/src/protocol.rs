@@ -1,0 +1,197 @@
+//! The newline-delimited JSON wire protocol (grammar in DESIGN.md §10).
+//!
+//! One request object per line in, one response object per line out, over a
+//! plain TCP stream. Every response carries `"ok"`; failures carry a typed
+//! `error.kind` (the [`ServeError::kind`] string) so clients can branch
+//! without parsing prose. A line the server cannot even parse still gets a
+//! well-formed error response — garbage in never kills the connection, let
+//! alone the server.
+
+use lasagne_testkit::Json;
+
+use crate::engine::Prediction;
+use crate::error::{ServeError, ServeResult};
+use crate::frozen::FrozenMeta;
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Argmax class + distribution for one node.
+    Predict {
+        /// Node id in the frozen graph.
+        node: usize,
+    },
+    /// The `k` most probable classes for one node.
+    TopK {
+        /// Node id in the frozen graph.
+        node: usize,
+        /// How many classes to return.
+        k: usize,
+    },
+    /// Liveness probe: answered inline, never queued behind model work.
+    Health,
+    /// Serving counters (request/batch/latency).
+    Stats,
+    /// Stop the server.
+    Shutdown,
+    /// Test-only op (enabled by `ServerConfig::debug_ops`): the worker
+    /// panics while handling it, exercising panic isolation.
+    DebugPanic,
+}
+
+impl Request {
+    /// Parse one request line. Errors name the offending field.
+    pub fn parse(line: &str) -> ServeResult<Request> {
+        let doc = Json::parse(line).map_err(|e| ServeError::Parse(format!("request: {e}")))?;
+        let op = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServeError::BadRequest("missing string field 'op'".into()))?;
+        let node = |doc: &Json| -> ServeResult<usize> {
+            doc.get("node")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| ServeError::BadRequest(format!("'{op}' needs integer field 'node'")))
+        };
+        match op {
+            "predict" => Ok(Request::Predict { node: node(&doc)? }),
+            "top_k" => {
+                let k = doc
+                    .get("k")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| ServeError::BadRequest("'top_k' needs integer field 'k'".into()))?;
+                if k == 0 {
+                    return Err(ServeError::BadRequest("'top_k' needs k >= 1".into()));
+                }
+                Ok(Request::TopK { node: node(&doc)?, k })
+            }
+            "health" => Ok(Request::Health),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "debug_panic" => Ok(Request::DebugPanic),
+            other => Err(ServeError::BadRequest(format!("unknown op '{other}'"))),
+        }
+    }
+
+    /// Serialize a request line (the load generator and tests use this).
+    pub fn to_line(&self) -> String {
+        let obj = match self {
+            Request::Predict { node } => vec![
+                ("op".to_string(), Json::Str("predict".into())),
+                ("node".to_string(), Json::Num(*node as f64)),
+            ],
+            Request::TopK { node, k } => vec![
+                ("op".to_string(), Json::Str("top_k".into())),
+                ("node".to_string(), Json::Num(*node as f64)),
+                ("k".to_string(), Json::Num(*k as f64)),
+            ],
+            Request::Health => vec![("op".to_string(), Json::Str("health".into()))],
+            Request::Stats => vec![("op".to_string(), Json::Str("stats".into()))],
+            Request::Shutdown => vec![("op".to_string(), Json::Str("shutdown".into()))],
+            Request::DebugPanic => vec![("op".to_string(), Json::Str("debug_panic".into()))],
+        };
+        Json::Obj(obj).to_string()
+    }
+}
+
+/// Point-in-time serving counters reported by `stats`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Model requests answered (predict/top_k, ok or error).
+    pub requests: u64,
+    /// Batches the micro-batcher dispatched.
+    pub batches: u64,
+    /// Largest batch coalesced so far.
+    pub max_batch: u64,
+    /// Mean requests per batch.
+    pub mean_batch: f64,
+    /// Median request latency, microseconds (enqueue → response ready).
+    pub p50_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+}
+
+fn ok_head() -> (String, Json) {
+    ("ok".to_string(), Json::Bool(true))
+}
+
+/// `predict` success response line.
+pub fn predict_response(p: &Prediction) -> String {
+    Json::Obj(vec![
+        ok_head(),
+        ("node".into(), Json::Num(p.node as f64)),
+        ("class".into(), Json::Num(p.class as f64)),
+        ("probs".into(), Json::from_f32s(p.probs.iter().copied())),
+    ])
+    .to_string()
+}
+
+/// `top_k` success response line.
+pub fn top_k_response(node: usize, ranked: &[(usize, f32)]) -> String {
+    Json::Obj(vec![
+        ok_head(),
+        ("node".into(), Json::Num(node as f64)),
+        (
+            "top".into(),
+            Json::Arr(
+                ranked
+                    .iter()
+                    .map(|&(class, prob)| {
+                        Json::Obj(vec![
+                            ("class".into(), Json::Num(class as f64)),
+                            ("prob".into(), Json::Num(prob as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string()
+}
+
+/// `health` response line (includes the model identity so probes double as
+/// a deployment sanity check).
+pub fn health_response(meta: &FrozenMeta) -> String {
+    Json::Obj(vec![
+        ok_head(),
+        ("status".into(), Json::Str("healthy".into())),
+        ("model".into(), Json::Str(meta.model.clone())),
+        ("dataset".into(), Json::Str(meta.dataset.clone())),
+        ("num_nodes".into(), Json::Num(meta.num_nodes as f64)),
+        ("num_classes".into(), Json::Num(meta.num_classes as f64)),
+    ])
+    .to_string()
+}
+
+/// `stats` response line.
+pub fn stats_response(s: &StatsSnapshot) -> String {
+    Json::Obj(vec![
+        ok_head(),
+        ("requests".into(), Json::Num(s.requests as f64)),
+        ("batches".into(), Json::Num(s.batches as f64)),
+        ("max_batch".into(), Json::Num(s.max_batch as f64)),
+        ("mean_batch".into(), Json::Num(s.mean_batch)),
+        ("p50_us".into(), Json::Num(s.p50_us)),
+        ("p99_us".into(), Json::Num(s.p99_us)),
+    ])
+    .to_string()
+}
+
+/// `shutdown` acknowledgement line.
+pub fn shutdown_response() -> String {
+    Json::Obj(vec![ok_head(), ("status".into(), Json::Str("shutting_down".into()))]).to_string()
+}
+
+/// Error response line for any failed request.
+pub fn error_response(e: &ServeError) -> String {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        (
+            "error".to_string(),
+            Json::Obj(vec![
+                ("kind".into(), Json::Str(e.kind().into())),
+                ("message".into(), Json::Str(e.to_string())),
+            ]),
+        ),
+    ])
+    .to_string()
+}

@@ -1,0 +1,376 @@
+//! The batched TCP model server.
+//!
+//! Architecture: one accept thread, one reader thread per connection, and a
+//! single **micro-batcher** thread that owns the [`Engine`]. Readers parse
+//! newline-delimited JSON requests; model queries (`predict`/`top_k`) are
+//! enqueued and the batcher drains the queue in one gulp (up to
+//! `max_batch`), so concurrent clients are coalesced into batches instead
+//! of interleaving lock traffic — batch sizes are visible in `stats` and in
+//! the `serve.batch_nodes` observability counter. Control queries
+//! (`health`/`stats`/`shutdown`) are answered inline by the reader so a
+//! liveness probe can never be starved by model work.
+//!
+//! Each queued request is handled inside `catch_unwind`: a panicking worker
+//! produces a typed `internal` error response for that one request and the
+//! server keeps answering everything else — exercised by the fault-injection
+//! tests via the `debug_panic` op (off by default, enabled in
+//! [`ServerConfig::debug_ops`]).
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::engine::Engine;
+use crate::error::{ServeError, ServeResult};
+use crate::frozen::FrozenMeta;
+use crate::protocol::{
+    error_response, health_response, predict_response, shutdown_response, stats_response,
+    top_k_response, Request, StatsSnapshot,
+};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Most queued requests the batcher drains per gulp.
+    pub max_batch: usize,
+    /// Enable test-only ops (`debug_panic`). Never enable in production.
+    pub debug_ops: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { addr: "127.0.0.1:7878".into(), max_batch: 64, debug_ops: false }
+    }
+}
+
+/// One queued model request and the channel its response goes back on.
+struct Job {
+    request: Request,
+    enqueued: Instant,
+    reply: mpsc::Sender<String>,
+}
+
+/// Latency reservoir: a fixed-size ring so a long-lived server's stats stay
+/// O(1) in memory while still reflecting recent traffic.
+const LATENCY_RING: usize = 65_536;
+
+#[derive(Default)]
+struct StatsInner {
+    requests: u64,
+    batches: u64,
+    max_batch: u64,
+    batch_req_sum: u64,
+    latencies_us: Vec<f64>,
+    next_slot: usize,
+}
+
+impl StatsInner {
+    fn record_latency(&mut self, us: f64) {
+        if self.latencies_us.len() < LATENCY_RING {
+            self.latencies_us.push(us);
+        } else {
+            self.latencies_us[self.next_slot] = us;
+            self.next_slot = (self.next_slot + 1) % LATENCY_RING;
+        }
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pct = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        StatsSnapshot {
+            requests: self.requests,
+            batches: self.batches,
+            max_batch: self.max_batch,
+            mean_batch: if self.batches == 0 {
+                0.0
+            } else {
+                self.batch_req_sum as f64 / self.batches as f64
+            },
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+        }
+    }
+}
+
+struct Shared {
+    meta: FrozenMeta,
+    /// Bound address; a client-initiated shutdown self-connects to it to
+    /// wake the blocking accept loop.
+    addr: SocketAddr,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    stats: Mutex<StatsInner>,
+    debug_ops: bool,
+}
+
+impl Shared {
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_stats(&self) -> std::sync::MutexGuard<'_, StatsInner> {
+        self.stats.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`]) stops
+/// the accept loop, drains the queue, and joins the worker threads.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    batcher_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the accept + batcher threads, and start answering.
+    /// The engine moves into the batcher thread — it is the only thread
+    /// that touches model state.
+    pub fn start(engine: Engine, config: ServerConfig) -> ServeResult<Server> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ServeError::Io(format!("bind {}: {e}", config.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(format!("local_addr: {e}")))?;
+        let shared = Arc::new(Shared {
+            meta: engine.meta().clone(),
+            addr,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: Mutex::new(StatsInner::default()),
+            debug_ops: config.debug_ops,
+        });
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            let max_batch = config.max_batch.max(1);
+            std::thread::Builder::new()
+                .name("serve-batcher".into())
+                .spawn(move || batcher_loop(engine, shared, max_batch))
+                .map_err(|e| ServeError::Io(format!("spawn batcher: {e}")))?
+        };
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(listener, shared))
+                .map_err(|e| ServeError::Io(format!("spawn acceptor: {e}")))?
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(acceptor),
+            batcher_thread: Some(batcher),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.lock_stats().snapshot()
+    }
+
+    /// Stop accepting, drain queued requests, and join the worker threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Block until a client sends `shutdown` (foreground serving — the CLI
+    /// `serve` subcommand), then drain and join.
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.batcher_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() || self.batcher_thread.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Line-oriented request/response traffic stalls badly under Nagle
+        // + delayed ACK (~40-200 ms per round trip); disable buffering.
+        let _ = stream.set_nodelay(true);
+        let shared = Arc::clone(&shared);
+        // Reader threads are detached: they end when their client hangs up,
+        // and a shut-down server answers their enqueues with a typed error.
+        let _ = std::thread::Builder::new()
+            .name("serve-conn".into())
+            .spawn(move || connection_loop(stream, shared));
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Request::parse(&line) {
+            Err(e) => error_response(&e),
+            Ok(Request::Health) => health_response(&shared.meta),
+            Ok(Request::Stats) => stats_response(&shared.lock_stats().snapshot()),
+            Ok(Request::Shutdown) => {
+                let _ = writeln!(writer, "{}", shutdown_response());
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.available.notify_all();
+                // Wake the blocking accept() so the server can exit.
+                let _ = TcpStream::connect(shared.addr);
+                return;
+            }
+            Ok(request) => match enqueue_and_wait(&shared, request) {
+                Ok(resp) => resp,
+                Err(e) => error_response(&e),
+            },
+        };
+        if writeln!(writer, "{response}").is_err() {
+            break;
+        }
+    }
+}
+
+/// Queue a model request for the batcher and block until its response.
+fn enqueue_and_wait(shared: &Shared, request: Request) -> ServeResult<String> {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Err(ServeError::Io("server is shutting down".into()));
+    }
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut queue = shared.lock_queue();
+        queue.push_back(Job { request, enqueued: Instant::now(), reply: tx });
+    }
+    shared.available.notify_one();
+    rx.recv().map_err(|_| ServeError::Io("server is shutting down".into()))
+}
+
+fn batcher_loop(engine: Engine, shared: Arc<Shared>, max_batch: usize) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut queue = shared.lock_queue();
+            loop {
+                if !queue.is_empty() {
+                    let n = queue.len().min(max_batch);
+                    break queue.drain(..n).collect();
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return; // drained and told to stop
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        lasagne_obs::span!("serve.batch");
+        lasagne_obs::counter_add("serve.batches", 1);
+        lasagne_obs::counter_add("serve.batch_nodes", batch.len() as u64);
+        {
+            let mut stats = shared.lock_stats();
+            stats.batches += 1;
+            stats.batch_req_sum += batch.len() as u64;
+            stats.max_batch = stats.max_batch.max(batch.len() as u64);
+        }
+        for job in batch {
+            // Panic isolation: a crashing handler answers *this* request
+            // with a typed internal error and the loop moves on.
+            let response = catch_unwind(AssertUnwindSafe(|| {
+                handle_model_request(&engine, &job.request, shared.debug_ops)
+            }))
+            .unwrap_or_else(|panic| {
+                let what = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked".into());
+                error_response(&ServeError::Internal(what))
+            });
+            let us = job.enqueued.elapsed().as_secs_f64() * 1e6;
+            lasagne_obs::counter_add("serve.requests", 1);
+            lasagne_obs::counter_add_ns("serve.latency_ns", (us * 1e3) as u64);
+            {
+                let mut stats = shared.lock_stats();
+                stats.requests += 1;
+                stats.record_latency(us);
+            }
+            let _ = job.reply.send(response);
+        }
+    }
+}
+
+fn handle_model_request(engine: &Engine, request: &Request, debug_ops: bool) -> String {
+    lasagne_obs::span!("serve.request");
+    match request {
+        Request::Predict { node } => match engine.predict(*node) {
+            Ok(p) => predict_response(&p),
+            Err(e) => error_response(&e),
+        },
+        Request::TopK { node, k } => match engine.top_k(*node, *k) {
+            Ok(ranked) => top_k_response(*node, &ranked),
+            Err(e) => error_response(&e),
+        },
+        Request::DebugPanic => {
+            if debug_ops {
+                panic!("debug_panic requested by client");
+            }
+            error_response(&ServeError::BadRequest(
+                "debug ops are disabled on this server".into(),
+            ))
+        }
+        // Health/Stats/Shutdown are answered inline by the reader thread.
+        other => error_response(&ServeError::Internal(format!(
+            "control request {other:?} reached the batcher"
+        ))),
+    }
+}

@@ -1,0 +1,248 @@
+//! Fault-injection suite for the TCP server and the frozen-file loader.
+//! The contract under test: no request — however malformed, out of range,
+//! or deliberately panicking — may take the server down. After every abuse
+//! the same server must still answer `health` and serve correct
+//! predictions. Frozen files, in turn, must fail *typed* (corrupt / parse
+//! / mismatch), never by panicking or by silently serving garbage.
+
+use std::io::Write;
+use std::net::TcpStream;
+
+use lasagne_gnn::{models, GraphContext, Hyper};
+use lasagne_graph::generators::{dc_sbm, DcSbmConfig};
+use lasagne_serve::{freeze, Client, Engine, FrozenModel, Request, Server, ServerConfig};
+use lasagne_tensor::TensorRng;
+use lasagne_testkit::Json;
+
+const IN_DIM: usize = 6;
+const CLASSES: usize = 3;
+const NODES: usize = 24;
+
+fn tiny_frozen() -> lasagne_serve::FrozenModel {
+    let mut rng = TensorRng::seed_from_u64(11);
+    let (g, labels) = dc_sbm(
+        &DcSbmConfig {
+            nodes: NODES,
+            classes: CLASSES,
+            avg_degree: 4.0,
+            homophily: 0.9,
+            power_exponent: 2.5,
+            max_weight_ratio: 20.0,
+        },
+        &mut rng,
+    );
+    let features = lasagne_datasets::generate_features(
+        &g,
+        &labels,
+        CLASSES,
+        &lasagne_datasets::FeatureConfig {
+            dim: IN_DIM,
+            signal: 1.5,
+            noise_scale: 0.5,
+            degree_noise_exponent: 0.3,
+            mask_base: 0.0,
+        },
+        &mut rng,
+    );
+    let ctx = GraphContext::new(&g, features, labels, CLASSES);
+    let hyper = Hyper { hidden: 4, depth: 2, dropout_keep: 1.0, ..Hyper::default() };
+    let model = models::Gcn::new(IN_DIM, CLASSES, &hyper, 5);
+    freeze(&model, &ctx, "tiny").expect("freeze")
+}
+
+fn start_server(debug_ops: bool) -> (Server, String) {
+    let engine = Engine::new(tiny_frozen()).expect("engine");
+    let server = Server::start(
+        engine,
+        ServerConfig { addr: "127.0.0.1:0".into(), debug_ops, ..ServerConfig::default() },
+    )
+    .expect("server start");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn error_kind(doc: &Json) -> String {
+    doc.get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+        .unwrap_or("<missing>")
+        .to_string()
+}
+
+fn assert_healthy(addr: &str) {
+    let mut client = Client::connect(addr).expect("connect for health");
+    let health = client.call_ok(&Request::Health).expect("health after abuse");
+    assert_eq!(health.get("num_nodes").and_then(Json::as_usize), Some(NODES));
+    let pred = client.call_ok(&Request::Predict { node: 1 }).expect("predict after abuse");
+    let probs = pred.get("probs").and_then(Json::to_f32s).expect("probs");
+    assert_eq!(probs.len(), CLASSES);
+    assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-3, "probs must stay normalized");
+}
+
+#[test]
+fn garbage_json_gets_a_typed_error_on_a_live_connection() {
+    let (_server, addr) = start_server(false);
+    let mut client = Client::connect(&addr).expect("connect");
+    let response = client.roundtrip_raw("{\"op\": \"predict\", node}").expect("roundtrip");
+    let doc = Json::parse(&response).expect("error response must still be valid JSON");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(error_kind(&doc), "parse");
+    // Same connection keeps working after the bad line.
+    let pred = client.call_ok(&Request::Predict { node: 0 }).expect("predict after garbage");
+    assert!(pred.get("class").and_then(Json::as_usize).is_some());
+    assert_healthy(&addr);
+}
+
+#[test]
+fn truncated_request_then_hangup_does_not_kill_the_server() {
+    let (_server, addr) = start_server(false);
+    {
+        // Half a request, no newline, then a hard hangup.
+        let mut raw = TcpStream::connect(&addr).expect("raw connect");
+        raw.write_all(b"{\"op\":\"pre").expect("partial write");
+    } // dropped here — server side sees EOF mid-line
+    assert_healthy(&addr);
+}
+
+#[test]
+fn wrong_field_types_and_unknown_ops_are_bad_request() {
+    let (_server, addr) = start_server(false);
+    let mut client = Client::connect(&addr).expect("connect");
+    for (line, what) in [
+        ("{\"op\":\"predict\"}", "predict without node"),
+        ("{\"op\":\"predict\",\"node\":-3}", "negative node"),
+        ("{\"op\":\"top_k\",\"node\":0,\"k\":0}", "k = 0"),
+        ("{\"op\":\"florp\"}", "unknown op"),
+        ("[1,2,3]", "non-object request"),
+    ] {
+        let response = client.roundtrip_raw(line).expect(what);
+        let doc = Json::parse(&response).expect(what);
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false), "{what}");
+        assert_eq!(error_kind(&doc), "bad_request", "{what}");
+    }
+    assert_healthy(&addr);
+}
+
+#[test]
+fn unknown_node_is_a_typed_unknown_node_error() {
+    let (_server, addr) = start_server(false);
+    let mut client = Client::connect(&addr).expect("connect");
+    let doc = client.call(&Request::Predict { node: NODES + 100 }).expect("call");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(error_kind(&doc), "unknown_node");
+    assert_healthy(&addr);
+}
+
+#[test]
+fn debug_panic_is_isolated_to_one_request() {
+    let (server, addr) = start_server(true);
+    let mut client = Client::connect(&addr).expect("connect");
+    let doc = client.call(&Request::DebugPanic).expect("panic request must get a response");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(error_kind(&doc), "internal");
+    // The batcher caught the panic; the same server keeps serving.
+    assert_healthy(&addr);
+    let stats = server.stats();
+    assert!(stats.requests >= 1, "panicking request still counts in stats");
+}
+
+#[test]
+fn debug_panic_is_refused_when_debug_ops_are_off() {
+    let (_server, addr) = start_server(false);
+    let mut client = Client::connect(&addr).expect("connect");
+    let doc = client.call(&Request::DebugPanic).expect("call");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(error_kind(&doc), "bad_request");
+    assert_healthy(&addr);
+}
+
+#[test]
+fn concurrent_clients_are_batched_and_counted() {
+    let (server, addr) = start_server(false);
+    let per_client = 25usize;
+    let clients = 8usize;
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                for i in 0..per_client {
+                    let node = (c * per_client + i) % NODES;
+                    client.call_ok(&Request::Predict { node }).expect("predict");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.requests, (clients * per_client) as u64);
+    assert!(stats.batches >= 1 && stats.batches <= stats.requests);
+    assert!(stats.max_batch >= 1);
+    assert!(stats.p99_us >= stats.p50_us);
+}
+
+#[test]
+fn protocol_shutdown_stops_the_server() {
+    let (server, addr) = start_server(false);
+    let mut client = Client::connect(&addr).expect("connect");
+    client.call_ok(&Request::Shutdown).expect("shutdown ack");
+    // wait() joins the accept + batcher threads; a hung shutdown would hang
+    // the test harness here, which is exactly what this test guards.
+    server.wait();
+}
+
+#[test]
+fn flipped_byte_in_frozen_file_fails_typed_on_load() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("lasagne-serve-flip-{}.json", std::process::id()));
+    tiny_frozen().save(&path).expect("save");
+    let mut rng = lasagne_testkit::rng::Rng::seed_from_u64(99);
+    // A single flipped byte must never load cleanly: either the checksum
+    // catches it (corrupt), the JSON no longer parses, or — if it lands in
+    // a value — the shape/invariant checks reject it (mismatch).
+    for trial in 0..8 {
+        lasagne_testkit::fault::flip_byte(&path, &mut rng).expect("flip");
+        let err = FrozenModel::load(&path)
+            .err()
+            .unwrap_or_else(|| panic!("trial {trial}: corrupted file loaded cleanly"));
+        assert!(
+            matches!(err.kind(), "corrupt" | "parse" | "mismatch" | "missing_param"),
+            "trial {trial}: unexpected kind {}",
+            err.kind()
+        );
+        // Restore for the next independent trial.
+        tiny_frozen().save(&path).expect("re-save");
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn truncated_frozen_file_fails_typed_on_load() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("lasagne-serve-trunc-{}.json", std::process::id()));
+    tiny_frozen().save(&path).expect("save");
+    lasagne_testkit::fault::truncate_file(&path, 0.5).expect("truncate");
+    let err = FrozenModel::load(&path).err().expect("truncated file must not load");
+    assert!(matches!(err.kind(), "corrupt" | "parse"), "unexpected kind {}", err.kind());
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn frozen_file_round_trips_through_disk() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("lasagne-serve-rt-{}.json", std::process::id()));
+    let frozen = tiny_frozen();
+    frozen.save(&path).expect("save");
+    let engine_a = Engine::new(frozen).expect("engine from memory");
+    let engine_b = Engine::new(FrozenModel::load(&path).expect("load")).expect("engine from disk");
+    for node in 0..NODES {
+        let a: Vec<u32> =
+            engine_a.logits_row(node).expect("row a").iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> =
+            engine_b.logits_row(node).expect("row b").iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "node {node}: disk round-trip changed the logits");
+    }
+    let _ = std::fs::remove_file(path);
+}

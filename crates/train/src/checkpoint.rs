@@ -55,8 +55,10 @@ fn io_err(path: &Path, e: impl std::fmt::Display) -> TrainError {
 
 /// Serialize `body` under a checksum envelope and publish it atomically:
 /// write to `<path>.tmp`, then `rename` over `path` (a crash mid-write
-/// leaves the old file intact, never a half-written new one).
-fn atomic_write_envelope(path: &Path, body: Json) -> TrainResult<()> {
+/// leaves the old file intact, never a half-written new one). Public so
+/// other on-disk artifacts (frozen models in `lasagne-serve`) share the
+/// exact same envelope and durability guarantees.
+pub fn atomic_write_envelope(path: &Path, body: Json) -> TrainResult<()> {
     let body_text = body.to_string();
     let doc = Json::Obj(vec![
         ("format_version".into(), Json::Num(FORMAT_VERSION as f64)),
@@ -84,7 +86,7 @@ pub fn previous_generation(path: &Path) -> PathBuf {
 
 /// Read `path`, verify the checksum envelope, and return the body. Accepts
 /// legacy v1 documents (no checksum) for params-only checkpoints.
-fn read_envelope(path: &Path) -> TrainResult<Json> {
+pub fn read_envelope(path: &Path) -> TrainResult<Json> {
     let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
     let doc = Json::parse(&text).map_err(|e| TrainError::Parse(format!("{}: {e}", path.display())))?;
     let version = doc
@@ -119,7 +121,7 @@ fn read_envelope(path: &Path) -> TrainResult<Json> {
 // Tensor / param (de)serialization helpers
 // ---------------------------------------------------------------------------
 
-fn tensor_to_json(t: &Tensor) -> Json {
+pub fn tensor_to_json(t: &Tensor) -> Json {
     Json::Obj(vec![
         ("rows".into(), Json::Num(t.rows() as f64)),
         ("cols".into(), Json::Num(t.cols() as f64)),
@@ -127,7 +129,7 @@ fn tensor_to_json(t: &Tensor) -> Json {
     ])
 }
 
-fn tensor_from_json(j: &Json) -> TrainResult<Tensor> {
+pub fn tensor_from_json(j: &Json) -> TrainResult<Tensor> {
     let field = |k: &str| {
         j.get(k).ok_or_else(|| TrainError::Parse(format!("tensor missing field '{k}'")))
     };
@@ -137,7 +139,7 @@ fn tensor_from_json(j: &Json) -> TrainResult<Tensor> {
     Tensor::from_vec(rows, cols, data).map_err(|e| TrainError::Parse(e.to_string()))
 }
 
-fn named_param_to_json(name: &str, t: &Tensor) -> Json {
+pub fn named_param_to_json(name: &str, t: &Tensor) -> Json {
     Json::Obj(vec![
         ("name".into(), Json::Str(name.to_string())),
         ("rows".into(), Json::Num(t.rows() as f64)),
@@ -146,7 +148,7 @@ fn named_param_to_json(name: &str, t: &Tensor) -> Json {
     ])
 }
 
-fn named_param_from_json(j: &Json) -> TrainResult<(String, Tensor)> {
+pub fn named_param_from_json(j: &Json) -> TrainResult<(String, Tensor)> {
     let name = j
         .get("name")
         .and_then(Json::as_str)

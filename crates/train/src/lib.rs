@@ -38,8 +38,10 @@ mod table;
 mod trainer;
 
 pub use checkpoint::{
-    fnv1a64, load_params, load_train_state, load_train_state_with_fallback, previous_generation,
-    save_params, save_train_state, TrainState,
+    atomic_write_envelope, fnv1a64, load_params, load_train_state,
+    load_train_state_with_fallback, named_param_from_json, named_param_to_json,
+    previous_generation, read_envelope, save_params, save_train_state, tensor_from_json,
+    tensor_to_json, TrainState,
 };
 pub use error::{TrainError, TrainResult};
 pub use metrics::{accuracy, confusion_counts, macro_f1};

@@ -67,4 +67,29 @@ cargo run --release --offline -p lasagne-bench --bin kernels -- \
     --smoke --out target/BENCH_kernels.smoke.json > /dev/null
 test -s target/BENCH_kernels.smoke.json
 
+echo "== serve: frozen export is byte-deterministic (same run, same bytes) =="
+cargo run --release --offline --bin lasagne-cli -- \
+    cora gcn --epochs 3 --export target/verify_frozen_a.json > /dev/null
+cargo run --release --offline --bin lasagne-cli -- \
+    cora gcn --epochs 3 --export target/verify_frozen_b.json > /dev/null
+cmp target/verify_frozen_a.json target/verify_frozen_b.json
+
+echo "== serve: live server conforms to the wire protocol =="
+cargo run --release --offline --bin lasagne-cli -- \
+    serve --frozen target/verify_frozen_a.json --port 17878 > /dev/null &
+SERVE_PID=$!
+# The --check drive retries its connect, so no sleep-and-hope here; it
+# sends well-formed, malformed, and out-of-range requests and asserts
+# every typed response, then --shutdown stops the server cleanly.
+cargo run --release --offline -p lasagne-bench --bin serve-bench -- \
+    --check --addr 127.0.0.1:17878
+cargo run --release --offline -p lasagne-bench --bin serve-bench -- \
+    --shutdown --addr 127.0.0.1:17878
+wait "$SERVE_PID"
+
+echo "== serve bench smoke (in-process server, 1/8/64 clients, JSON artifact) =="
+cargo run --release --offline -p lasagne-bench --bin serve-bench -- \
+    --smoke --out target/BENCH_serve.smoke.json > /dev/null
+test -s target/BENCH_serve.smoke.json
+
 echo "verify: OK"

@@ -23,9 +23,19 @@
 //! top self-time spans and the counters as tables; `--trace-deterministic`
 //! zeroes all durations so two same-seed traces are byte-identical.
 //! Tracing never changes a computed bit — only observes.
+//!
+//! `--export PATH` freezes the trained model (last successful seed) into an
+//! inference artifact, and `lasagne-cli serve --frozen PATH` serves it over
+//! TCP (DESIGN.md §10):
+//!
+//! ```sh
+//! cargo run --release --bin lasagne-cli -- cora gcn --epochs 100 --export /tmp/gcn.frozen.json
+//! cargo run --release --bin lasagne-cli -- serve --frozen /tmp/gcn.frozen.json --port 7878
+//! ```
 
 use lasagne::prelude::*;
 use lasagne_obs::{TraceReport, TraceSink};
+use lasagne_serve::{freeze, Engine, FrozenModel, Server};
 use lasagne_train::save_params;
 
 struct Args {
@@ -36,6 +46,7 @@ struct Args {
     epochs: usize,
     data_seed: u64,
     save: Option<std::path::PathBuf>,
+    export: Option<std::path::PathBuf>,
     resume: Option<std::path::PathBuf>,
     max_recoveries: Option<usize>,
     clip_norm: Option<f32>,
@@ -53,12 +64,112 @@ const MODELS: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!("usage: lasagne-cli <dataset> <model> [--depth N] [--seeds N] [--epochs N] [--data-seed N] [--save PATH]");
-    eprintln!("                   [--resume PATH] [--max-recoveries N] [--clip-norm X] [--threads N]");
+    eprintln!("                   [--resume PATH] [--max-recoveries N] [--clip-norm X] [--threads N] [--export PATH]");
     eprintln!("                   [--trace-out PATH] [--trace-summary] [--trace-deterministic]");
+    eprintln!("       lasagne-cli serve --frozen PATH [--port N] [--host ADDR] [--max-batch N]");
     eprintln!("       lasagne-cli --list");
     eprintln!("datasets: {}", DatasetId::all().map(|d| d.name()).join(", "));
     eprintln!("models:   {}", MODELS.join(", "));
     std::process::exit(2);
+}
+
+/// Reject a flag's value, naming both — `"--epochs: invalid value 'abc'"` —
+/// before showing the usage text.
+fn bad_value(flag: &str, value: &str) -> ! {
+    eprintln!("{flag}: invalid value '{value}'");
+    usage()
+}
+
+fn missing_value(flag: &str) -> ! {
+    eprintln!("{flag}: missing value");
+    usage()
+}
+
+fn unknown_flag(flag: &str) -> ! {
+    eprintln!("unknown flag '{flag}'");
+    usage()
+}
+
+/// `lasagne-cli serve ...` settings.
+struct ServeArgs {
+    frozen: std::path::PathBuf,
+    host: String,
+    port: u16,
+    max_batch: usize,
+    threads: Option<usize>,
+}
+
+fn parse_serve_args(argv: &[String]) -> ServeArgs {
+    let mut frozen: Option<std::path::PathBuf> = None;
+    let mut host = "127.0.0.1".to_string();
+    let mut port: u16 = 7878;
+    let mut max_batch: usize = 64;
+    let mut threads: Option<usize> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = argv.get(i + 1).unwrap_or_else(|| missing_value(flag));
+        match flag {
+            "--frozen" => frozen = Some(value.into()),
+            "--host" => host = value.clone(),
+            "--port" => port = value.parse().unwrap_or_else(|_| bad_value(flag, value)),
+            "--max-batch" => {
+                max_batch = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| bad_value(flag, value))
+            }
+            "--threads" => {
+                threads = Some(
+                    value.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| bad_value(flag, value)),
+                )
+            }
+            other => unknown_flag(other),
+        }
+        i += 2;
+    }
+    let Some(frozen) = frozen else {
+        eprintln!("serve: missing required --frozen PATH");
+        usage()
+    };
+    ServeArgs { frozen, host, port, max_batch, threads }
+}
+
+/// Run the `serve` subcommand: load + cache the frozen model, bind, and
+/// block until a client sends `shutdown`.
+fn run_serve(args: ServeArgs) -> ! {
+    if let Some(n) = args.threads {
+        lasagne_par::set_threads(n);
+    }
+    let frozen = FrozenModel::load(&args.frozen).unwrap_or_else(|e| {
+        eprintln!("error: cannot load frozen model: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "loaded {} on {} ({} nodes, {} classes, {} weight tensors)",
+        frozen.meta.model,
+        frozen.meta.dataset,
+        frozen.meta.num_nodes,
+        frozen.meta.num_classes,
+        frozen.weights.len(),
+    );
+    let engine = Engine::new(frozen).unwrap_or_else(|e| {
+        eprintln!("error: cannot build inference engine: {e}");
+        std::process::exit(1);
+    });
+    let config = lasagne_serve::ServerConfig {
+        addr: format!("{}:{}", args.host, args.port),
+        max_batch: args.max_batch,
+        debug_ops: false,
+    };
+    let server = Server::start(engine, config).unwrap_or_else(|e| {
+        eprintln!("error: cannot start server: {e}");
+        std::process::exit(1);
+    });
+    println!("serving on {} (newline-delimited JSON; send {{\"op\":\"shutdown\"}} to stop)", server.local_addr());
+    server.wait();
+    std::process::exit(0);
 }
 
 fn parse_args() -> Args {
@@ -67,6 +178,9 @@ fn parse_args() -> Args {
         println!("datasets: {}", DatasetId::all().map(|d| d.name()).join(", "));
         println!("models:   {}", MODELS.join(", "));
         std::process::exit(0);
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        run_serve(parse_serve_args(&argv[1..]));
     }
     if argv.len() < 2 {
         usage();
@@ -88,6 +202,7 @@ fn parse_args() -> Args {
         epochs: 150,
         data_seed: 0,
         save: None,
+        export: None,
         resume: None,
         max_recoveries: None,
         clip_norm: None,
@@ -113,24 +228,30 @@ fn parse_args() -> Args {
             }
             _ => {}
         }
-        let value = argv.get(i + 1).unwrap_or_else(|| usage());
+        let value = argv.get(i + 1).unwrap_or_else(|| missing_value(flag));
         match flag {
-            "--depth" => args.depth = Some(value.parse().unwrap_or_else(|_| usage())),
-            "--seeds" => args.seeds = value.parse().unwrap_or_else(|_| usage()),
-            "--epochs" => args.epochs = value.parse().unwrap_or_else(|_| usage()),
-            "--data-seed" => args.data_seed = value.parse().unwrap_or_else(|_| usage()),
+            "--depth" => args.depth = Some(value.parse().unwrap_or_else(|_| bad_value(flag, value))),
+            "--seeds" => args.seeds = value.parse().unwrap_or_else(|_| bad_value(flag, value)),
+            "--epochs" => args.epochs = value.parse().unwrap_or_else(|_| bad_value(flag, value)),
+            "--data-seed" => {
+                args.data_seed = value.parse().unwrap_or_else(|_| bad_value(flag, value))
+            }
             "--save" => args.save = Some(value.into()),
+            "--export" => args.export = Some(value.into()),
             "--resume" => args.resume = Some(value.into()),
             "--max-recoveries" => {
-                args.max_recoveries = Some(value.parse().unwrap_or_else(|_| usage()))
+                args.max_recoveries = Some(value.parse().unwrap_or_else(|_| bad_value(flag, value)))
             }
-            "--clip-norm" => args.clip_norm = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--clip-norm" => {
+                args.clip_norm = Some(value.parse().unwrap_or_else(|_| bad_value(flag, value)))
+            }
             "--threads" => {
-                args.threads =
-                    Some(value.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| usage()))
+                args.threads = Some(
+                    value.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| bad_value(flag, value)),
+                )
             }
             "--trace-out" => args.trace_out = Some(value.into()),
-            _ => usage(),
+            other => unknown_flag(other),
         }
         i += 2;
     }
@@ -290,5 +411,14 @@ fn main() {
             std::process::exit(1);
         }
         println!("saved weights of the last seed to {}", path.display());
+    }
+
+    if let Some(path) = args.export {
+        let result = freeze(model.as_ref(), &ctx, ds.spec.name).and_then(|f| f.save(&path));
+        if let Err(e) = result {
+            eprintln!("error: failed to export frozen model: {e}");
+            std::process::exit(1);
+        }
+        println!("exported frozen model of the last seed to {}", path.display());
     }
 }

@@ -33,6 +33,7 @@ pub use lasagne_datasets as datasets;
 pub use lasagne_gnn as gnn;
 pub use lasagne_graph as graph;
 pub use lasagne_mi as mi;
+pub use lasagne_serve as serve;
 pub use lasagne_sparse as sparse;
 pub use lasagne_tensor as tensor;
 pub use lasagne_train as train;
@@ -46,6 +47,7 @@ pub mod prelude {
     pub use lasagne_gnn::{models, GraphContext, Hyper, Mode, NodeClassifier};
     pub use lasagne_graph::{average_path_length, pagerank, Graph};
     pub use lasagne_mi::MiEstimator;
+    pub use lasagne_serve::{freeze, Engine, FrozenModel, Server, ServerConfig};
     pub use lasagne_sparse::Csr;
     pub use lasagne_tensor::{Tensor, TensorRng};
     pub use lasagne_train::{
