@@ -141,4 +141,14 @@ pub trait NodeClassifier {
 
     /// The parameter store (written by backward + optimizer).
     fn store_mut(&mut self) -> &mut ParamStore;
+
+    /// Whether `forward` folds graph structure into tape *constants*
+    /// instead of going through the context's sparse operators (SGC's
+    /// off-tape `Â^K X` is the one such model in the stack). Such constants
+    /// are opaque to any downstream graph-dependency analysis — the serving
+    /// layer uses this to refuse live graph mutations with a typed error
+    /// rather than silently serving stale propagations.
+    fn bakes_graph_into_constants(&self) -> bool {
+        false
+    }
 }

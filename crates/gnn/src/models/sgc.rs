@@ -73,6 +73,12 @@ impl NodeClassifier for Sgc {
     fn store_mut(&mut self) -> &mut ParamStore {
         &mut self.store
     }
+
+    /// `Â^K X` enters the tape as a constant, so the exported program has no
+    /// visible graph dependence — streaming mutations must be refused.
+    fn bakes_graph_into_constants(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -73,4 +73,20 @@ impl Client {
             .unwrap_or("<no message>");
         Err(ServeError::BadRequest(format!("server error [{kind}]: {message}")))
     }
+
+    /// Insert undirected edge `u — v` into the live graph.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> ServeResult<Json> {
+        self.call_ok(&Request::AddEdge { u, v })
+    }
+
+    /// Delete undirected edge `u — v` from the live graph.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> ServeResult<Json> {
+        self.call_ok(&Request::RemoveEdge { u, v })
+    }
+
+    /// Append an isolated node with the given feature row; the response's
+    /// `node` field carries its id.
+    pub fn add_node(&mut self, features: &[f32]) -> ServeResult<Json> {
+        self.call_ok(&Request::AddNode { features: features.to_vec() })
+    }
 }

@@ -11,18 +11,35 @@
 //! graph, features, and weights are all frozen, so the full-graph program is
 //! evaluated exactly once at load time and every node query after that is a
 //! row lookup plus a softmax — no per-request linear algebra at all. That is
-//! also why the engine is `Send + Sync` (plain tensors, no `Rc`): the
-//! program is consumed at construction and only its cached output survives.
+//! also why the engine is `Send` (plain tensors, no `Rc`): the program is
+//! consumed at construction; what survives is the cache — plus, for models
+//! frozen with a graph binding, the streaming state that can patch it.
 
 use lasagne_autograd::{gat_attention, Program, ProgramOp};
+use lasagne_sparse::Csr;
 use lasagne_tensor::Tensor;
 
 use crate::error::{ServeError, ServeResult};
 use crate::frozen::{FrozenMeta, FrozenModel};
+use crate::streaming::StreamingState;
 
 /// Evaluate `program`, binding `Param` leaves against `weights` by name.
 /// Returns the output tensor (for a classifier: `N×F` logits).
 pub fn evaluate_program(program: &Program, weights: &[(String, Tensor)]) -> ServeResult<Tensor> {
+    let sparse: Vec<&Csr> = program.sparse.iter().map(|m| &**m).collect();
+    let mut values = evaluate_ops(&program.ops, &sparse, weights)?;
+    Ok(values.swap_remove(program.output))
+}
+
+/// Evaluate an op list against a sparse table and named weights, keeping
+/// **every** intermediate tensor. `evaluate_program` discards all but the
+/// output; the streaming engine keeps the whole vector as its per-op cache
+/// so mutations can re-derive only dirty rows (DESIGN.md §11).
+pub(crate) fn evaluate_ops(
+    ops: &[ProgramOp],
+    sparse: &[&Csr],
+    weights: &[(String, Tensor)],
+) -> ServeResult<Vec<Tensor>> {
     lasagne_obs::span!("serve.evaluate");
     let lookup = |name: &str| -> ServeResult<&Tensor> {
         weights
@@ -31,14 +48,14 @@ pub fn evaluate_program(program: &Program, weights: &[(String, Tensor)]) -> Serv
             .map(|(_, t)| t)
             .ok_or_else(|| ServeError::MissingParam(name.to_string()))
     };
-    let mut values: Vec<Tensor> = Vec::with_capacity(program.ops.len());
-    for op in &program.ops {
+    let mut values: Vec<Tensor> = Vec::with_capacity(ops.len());
+    for op in ops {
         let v = |i: usize| -> &Tensor { &values[i] };
         let out = match op {
             ProgramOp::Constant { value } => value.clone(),
             ProgramOp::Param { name } => lookup(name)?.clone(),
             ProgramOp::MatMul { a, b } => v(*a).matmul(v(*b)),
-            ProgramOp::SpMM { m, x } => program.sparse[*m].spmm(v(*x)),
+            ProgramOp::SpMM { m, x } => sparse[*m].spmm(v(*x)),
             ProgramOp::Add { a, b } => v(*a).add(v(*b)),
             ProgramOp::Sub { a, b } => v(*a).sub(v(*b)),
             ProgramOp::Mul { a, b } => v(*a).mul(v(*b)),
@@ -84,12 +101,12 @@ pub fn evaluate_program(program: &Program, weights: &[(String, Tensor)]) -> Serv
                 acc
             }
             ProgramOp::GatAggregate { adj, z, ssrc, sdst, slope } => {
-                gat_attention(&program.sparse[*adj], v(*z), v(*ssrc), v(*sdst), *slope).out
+                gat_attention(sparse[*adj], v(*z), v(*ssrc), v(*sdst), *slope).out
             }
         };
         values.push(out);
     }
-    Ok(values.swap_remove(program.output))
+    Ok(values)
 }
 
 /// One node's answer: the argmax class and the full softmax distribution.
@@ -105,13 +122,18 @@ pub struct Prediction {
 
 /// A loaded model ready to answer node queries out of its propagation
 /// cache. Construction runs the frozen program once; queries are O(classes).
+/// Models frozen with a graph binding also accept mutations
+/// ([`Engine::apply_mutation`]), which patch the cache incrementally.
 pub struct Engine {
-    meta: FrozenMeta,
+    pub(crate) meta: FrozenMeta,
     /// Full-graph logits — the propagation cache.
-    logits: Tensor,
+    pub(crate) logits: Tensor,
     /// Full-graph softmax rows, cached alongside (clients overwhelmingly
     /// want probabilities).
-    probs: Tensor,
+    pub(crate) probs: Tensor,
+    /// Streaming-mutation state; `None` for pre-streaming frozen files,
+    /// which answer mutations with a typed `mismatch` error.
+    pub(crate) streaming: Option<StreamingState>,
 }
 
 impl Engine {
@@ -120,7 +142,9 @@ impl Engine {
     /// carry, or if its output shape contradicts the metadata.
     pub fn new(frozen: FrozenModel) -> ServeResult<Engine> {
         lasagne_obs::span!("serve.engine.load");
-        let logits = evaluate_program(&frozen.program, &frozen.weights)?;
+        let sparse: Vec<&Csr> = frozen.program.sparse.iter().map(|m| &**m).collect();
+        let values = evaluate_ops(&frozen.program.ops, &sparse, &frozen.weights)?;
+        let logits = values[frozen.program.output].clone();
         if logits.shape() != (frozen.meta.num_nodes, frozen.meta.num_classes) {
             return Err(ServeError::Mismatch(format!(
                 "program output is {:?} but metadata says {} nodes × {} classes",
@@ -130,7 +154,11 @@ impl Engine {
             )));
         }
         let probs = logits.softmax_rows();
-        Ok(Engine { meta: frozen.meta, logits, probs })
+        let streaming = match frozen.graph {
+            Some(g) => Some(StreamingState::new(frozen.program, g, frozen.weights, values)?),
+            None => None,
+        };
+        Ok(Engine { meta: frozen.meta, logits, probs, streaming })
     }
 
     /// Provenance/shape metadata of the loaded model.

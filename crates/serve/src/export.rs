@@ -7,13 +7,15 @@
 //! exported as a tape-free program, and the full parameter store is copied
 //! out by name.
 
+use std::rc::Rc;
+
 use lasagne_gnn::{GraphContext, Mode, NodeClassifier};
 use lasagne_tensor::TensorRng;
 
-use lasagne_autograd::Tape;
+use lasagne_autograd::{ProgramOp, Tape};
 
 use crate::error::ServeResult;
-use crate::frozen::{FrozenMeta, FrozenModel};
+use crate::frozen::{FrozenGraph, FrozenMeta, FrozenModel, SparseKind};
 
 /// Export `model`'s eval forward on `ctx` as a frozen inference artifact.
 /// `dataset` is recorded as provenance (e.g. `"cora"`).
@@ -34,6 +36,53 @@ pub fn freeze(
         .iter()
         .map(|(id, t)| (store.name(id).to_string(), t.clone()))
         .collect();
+    // Graph binding for streaming (DESIGN.md §11): the exported sparse
+    // table holds `Rc::clone`s of the context's operators, so pointer
+    // identity tells us exactly which normalization produced each entry.
+    // Constants bitwise-equal to the feature matrix are the ops `add_node`
+    // must grow. Anything unrecognized is tagged opaque and the engine
+    // refuses mutations on it rather than guessing. Models that fold graph
+    // structure into tape constants (SGC's off-tape `Â^K X`) get no binding
+    // at all — their graph dependence is invisible to the program, so the
+    // only honest behavior is the typed no-binding refusal.
+    if model.bakes_graph_into_constants() {
+        return Ok(FrozenModel {
+            meta: FrozenMeta {
+                model: model.name(),
+                dataset: dataset.to_string(),
+                num_nodes: ctx.num_nodes(),
+                num_classes: ctx.num_classes,
+            },
+            weights,
+            program,
+            graph: None,
+        });
+    }
+    let kinds = program
+        .sparse
+        .iter()
+        .map(|m| {
+            if Rc::ptr_eq(m, &ctx.a_hat) {
+                SparseKind::Sym
+            } else if Rc::ptr_eq(m, &ctx.rw_adj) {
+                SparseKind::Rw
+            } else if Rc::ptr_eq(m, &ctx.adj_loops) {
+                SparseKind::Loops
+            } else if Rc::ptr_eq(m, &ctx.adjacency) {
+                SparseKind::Adj
+            } else {
+                SparseKind::Opaque
+            }
+        })
+        .collect();
+    let features_ops = program
+        .ops
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| matches!(op, ProgramOp::Constant { value } if value == &*ctx.features))
+        .map(|(i, _)| i)
+        .collect();
+    let graph = FrozenGraph { adjacency: (*ctx.adjacency).clone(), kinds, features_ops };
     Ok(FrozenModel {
         meta: FrozenMeta {
             model: model.name(),
@@ -43,5 +92,6 @@ pub fn freeze(
         },
         weights,
         program,
+        graph: Some(graph),
     })
 }

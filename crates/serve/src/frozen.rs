@@ -39,6 +39,64 @@ pub struct FrozenMeta {
     pub num_classes: usize,
 }
 
+/// How a sparse-table entry derives from the raw adjacency. Recorded at
+/// freeze time (by `Rc` identity against the exporting `GraphContext`) so
+/// the streaming engine knows which normalization to re-run after a graph
+/// mutation — the exactness contract of DESIGN.md §11 is that each rebuilt
+/// operator is the *same call* `GraphContext::new` would make.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SparseKind {
+    /// `Â = D̃^{-1/2}(A+I)D̃^{-1/2}` — `with_self_loops().sym_normalize()`.
+    Sym,
+    /// Row-stochastic — `with_self_loops().rw_normalize()`.
+    Rw,
+    /// `A + I` — `with_self_loops()`.
+    Loops,
+    /// The raw adjacency itself.
+    Adj,
+    /// No known derivation (e.g. a sampled operator); mutations are
+    /// refused on models that use one.
+    Opaque,
+}
+
+impl SparseKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            SparseKind::Sym => "sym",
+            SparseKind::Rw => "rw",
+            SparseKind::Loops => "loops",
+            SparseKind::Adj => "adj",
+            SparseKind::Opaque => "opaque",
+        }
+    }
+
+    fn parse(s: &str) -> Option<SparseKind> {
+        Some(match s {
+            "sym" => SparseKind::Sym,
+            "rw" => SparseKind::Rw,
+            "loops" => SparseKind::Loops,
+            "adj" => SparseKind::Adj,
+            "opaque" => SparseKind::Opaque,
+            _ => return None,
+        })
+    }
+}
+
+/// The graph binding a streaming-capable frozen model carries: the raw
+/// adjacency the sparse operators were derived from, one [`SparseKind`] per
+/// sparse-table entry, and the program ops holding the feature matrix
+/// (grown row-wise by `add_node`). Models frozen before streaming support
+/// load with `graph: None` and refuse mutations with a typed error.
+#[derive(Debug, Clone)]
+pub struct FrozenGraph {
+    /// Raw (unnormalized, loop-free) symmetric adjacency.
+    pub adjacency: Csr,
+    /// Derivation of each `program.sparse` entry, same order.
+    pub kinds: Vec<SparseKind>,
+    /// Indices of `Constant` ops that hold the node-feature matrix.
+    pub features_ops: Vec<usize>,
+}
+
 /// A self-contained inference artifact: metadata, weights, and the exported
 /// eval-forward program.
 pub struct FrozenModel {
@@ -49,6 +107,8 @@ pub struct FrozenModel {
     /// The tape-free forward program (references weights by name and sparse
     /// operators by table index).
     pub program: Program,
+    /// Graph binding for streaming mutations; `None` on pre-streaming files.
+    pub graph: Option<FrozenGraph>,
 }
 
 fn num(v: usize) -> Json {
@@ -346,10 +406,53 @@ fn op_from_json(j: &Json, n_ops: usize, n_sparse: usize) -> ServeResult<ProgramO
     })
 }
 
+fn graph_to_json(g: &FrozenGraph) -> Json {
+    Json::Obj(vec![
+        ("adjacency".into(), csr_to_json(&g.adjacency)),
+        (
+            "kinds".into(),
+            Json::Arr(g.kinds.iter().map(|k| Json::Str(k.as_str().into())).collect()),
+        ),
+        ("features_ops".into(), Json::Arr(g.features_ops.iter().map(|&i| num(i)).collect())),
+    ])
+}
+
+fn graph_from_json(j: &Json, ops: &[ProgramOp], n_sparse: usize) -> ServeResult<FrozenGraph> {
+    let adjacency = csr_from_json(field(j, "adjacency", "graph")?)?;
+    if adjacency.rows() != adjacency.cols() {
+        return Err(ServeError::Mismatch("graph: adjacency must be square".into()));
+    }
+    let kinds = field(j, "kinds", "graph")?
+        .as_arr()
+        .ok_or_else(|| ServeError::Parse("graph: 'kinds' not an array".into()))?
+        .iter()
+        .map(|k| {
+            k.as_str()
+                .and_then(SparseKind::parse)
+                .ok_or_else(|| ServeError::Parse("graph: unknown sparse kind".into()))
+        })
+        .collect::<ServeResult<Vec<_>>>()?;
+    if kinds.len() != n_sparse {
+        return Err(ServeError::Mismatch(format!(
+            "graph: {} kinds for a sparse table of {n_sparse}",
+            kinds.len()
+        )));
+    }
+    let features_ops = usize_arr(j, "features_ops", "graph")?;
+    for &i in &features_ops {
+        if !matches!(ops.get(i), Some(ProgramOp::Constant { .. })) {
+            return Err(ServeError::Mismatch(format!(
+                "graph: features op {i} is not a program constant"
+            )));
+        }
+    }
+    Ok(FrozenGraph { adjacency, kinds, features_ops })
+}
+
 impl FrozenModel {
     /// Serialize into the envelope body (`"kind":"frozen_model"`).
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("kind".into(), Json::Str("frozen_model".into())),
             (
                 "meta".into(),
@@ -375,7 +478,11 @@ impl FrozenModel {
                     ("output".into(), num(self.program.output)),
                 ]),
             ),
-        ])
+        ];
+        if let Some(g) = &self.graph {
+            fields.push(("graph".into(), graph_to_json(g)));
+        }
+        Json::Obj(fields)
     }
 
     /// Parse an envelope body written by [`FrozenModel::to_json`].
@@ -419,7 +526,11 @@ impl FrozenModel {
                 ops.len()
             )));
         }
-        Ok(FrozenModel { meta, weights, program: Program { ops, sparse, output } })
+        let graph = match body.get("graph") {
+            Some(g) => Some(graph_from_json(g, &ops, sparse.len())?),
+            None => None,
+        };
+        Ok(FrozenModel { meta, weights, program: Program { ops, sparse, output }, graph })
     }
 
     /// Write to `path` under the checksum envelope, atomically. The output is

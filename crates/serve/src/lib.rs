@@ -18,6 +18,11 @@
 //!    `std::net`, a micro-batcher that coalesces concurrent requests,
 //!    panic isolation per request, and latency/batch counters surfaced via
 //!    `stats` and `lasagne-obs`.
+//! 4. **Streaming mutations** ([`Mutation`], DESIGN.md §11) — `add_edge` /
+//!    `remove_edge` / `add_node` against the live engine. Edge toggles hit a
+//!    delta adjacency and re-derive only the dirty k-hop rows of the
+//!    propagation cache; the result is bitwise what a cold reload of the
+//!    mutated graph would compute, a property the test harness proves.
 //!
 //! ```no_run
 //! use lasagne_serve::{freeze, Engine, FrozenModel, Server, ServerConfig};
@@ -39,14 +44,16 @@ mod export;
 mod frozen;
 mod protocol;
 mod server;
+mod streaming;
 
 pub use client::Client;
 pub use engine::{evaluate_program, Engine, Prediction};
 pub use error::{ServeError, ServeResult};
 pub use export::freeze;
-pub use frozen::{FrozenMeta, FrozenModel};
+pub use frozen::{FrozenGraph, FrozenMeta, FrozenModel, SparseKind};
 pub use protocol::{
-    error_response, health_response, predict_response, shutdown_response, stats_response,
-    top_k_response, Request, StatsSnapshot,
+    error_response, health_response, mutation_response, predict_response, shutdown_response,
+    stats_response, top_k_response, Request, StatsSnapshot,
 };
 pub use server::{Server, ServerConfig};
+pub use streaming::{Mutation, MutationReport, DEFAULT_COMPACT_EVERY};

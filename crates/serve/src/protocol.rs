@@ -12,9 +12,10 @@ use lasagne_testkit::Json;
 use crate::engine::Prediction;
 use crate::error::{ServeError, ServeResult};
 use crate::frozen::FrozenMeta;
+use crate::streaming::MutationReport;
 
 /// A decoded client request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Argmax class + distribution for one node.
     Predict {
@@ -27,6 +28,25 @@ pub enum Request {
         node: usize,
         /// How many classes to return.
         k: usize,
+    },
+    /// Insert undirected edge `u — v` into the live graph.
+    AddEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// Delete undirected edge `u — v` from the live graph.
+    RemoveEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// Append an isolated node with the given feature row.
+    AddNode {
+        /// Feature row, `input_dim` long.
+        features: Vec<f32>,
     },
     /// Liveness probe: answered inline, never queued behind model work.
     Health,
@@ -64,6 +84,28 @@ impl Request {
                 }
                 Ok(Request::TopK { node: node(&doc)?, k })
             }
+            "add_edge" | "remove_edge" => {
+                let end = |field: &str| -> ServeResult<usize> {
+                    doc.get(field).and_then(Json::as_usize).ok_or_else(|| {
+                        ServeError::BadRequest(format!("'{op}' needs integer field '{field}'"))
+                    })
+                };
+                let (u, v) = (end("u")?, end("v")?);
+                if op == "add_edge" {
+                    Ok(Request::AddEdge { u, v })
+                } else {
+                    Ok(Request::RemoveEdge { u, v })
+                }
+            }
+            "add_node" => {
+                let features = doc
+                    .get("features")
+                    .and_then(Json::to_f32s)
+                    .ok_or_else(|| {
+                        ServeError::BadRequest("'add_node' needs number array 'features'".into())
+                    })?;
+                Ok(Request::AddNode { features })
+            }
             "health" => Ok(Request::Health),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
@@ -83,6 +125,20 @@ impl Request {
                 ("op".to_string(), Json::Str("top_k".into())),
                 ("node".to_string(), Json::Num(*node as f64)),
                 ("k".to_string(), Json::Num(*k as f64)),
+            ],
+            Request::AddEdge { u, v } => vec![
+                ("op".to_string(), Json::Str("add_edge".into())),
+                ("u".to_string(), Json::Num(*u as f64)),
+                ("v".to_string(), Json::Num(*v as f64)),
+            ],
+            Request::RemoveEdge { u, v } => vec![
+                ("op".to_string(), Json::Str("remove_edge".into())),
+                ("u".to_string(), Json::Num(*u as f64)),
+                ("v".to_string(), Json::Num(*v as f64)),
+            ],
+            Request::AddNode { features } => vec![
+                ("op".to_string(), Json::Str("add_node".into())),
+                ("features".to_string(), Json::from_f32s(features.iter().copied())),
             ],
             Request::Health => vec![("op".to_string(), Json::Str("health".into()))],
             Request::Stats => vec![("op".to_string(), Json::Str("stats".into()))],
@@ -174,6 +230,22 @@ pub fn stats_response(s: &StatsSnapshot) -> String {
         ("p99_us".into(), Json::Num(s.p99_us)),
     ])
     .to_string()
+}
+
+/// `add_edge` / `remove_edge` / `add_node` success response line. `op`
+/// echoes the verb; `node` is present only for `add_node`.
+pub fn mutation_response(op: &str, r: &MutationReport) -> String {
+    let mut fields = vec![
+        ok_head(),
+        ("op".into(), Json::Str(op.into())),
+        ("dirty_rows".into(), Json::Num(r.dirty_rows as f64)),
+        ("full_recompute".into(), Json::Bool(r.full)),
+        ("num_nodes".into(), Json::Num(r.num_nodes as f64)),
+    ];
+    if let Some(node) = r.node {
+        fields.push(("node".into(), Json::Num(node as f64)));
+    }
+    Json::Obj(fields).to_string()
 }
 
 /// `shutdown` acknowledgement line.

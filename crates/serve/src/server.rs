@@ -30,9 +30,10 @@ use crate::engine::Engine;
 use crate::error::{ServeError, ServeResult};
 use crate::frozen::FrozenMeta;
 use crate::protocol::{
-    error_response, health_response, predict_response, shutdown_response, stats_response,
-    top_k_response, Request, StatsSnapshot,
+    error_response, health_response, mutation_response, predict_response, shutdown_response,
+    stats_response, top_k_response, Request, StatsSnapshot,
 };
+use crate::streaming::Mutation;
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -295,7 +296,7 @@ fn enqueue_and_wait(shared: &Shared, request: Request) -> ServeResult<String> {
     rx.recv().map_err(|_| ServeError::Io("server is shutting down".into()))
 }
 
-fn batcher_loop(engine: Engine, shared: Arc<Shared>, max_batch: usize) {
+fn batcher_loop(mut engine: Engine, shared: Arc<Shared>, max_batch: usize) {
     loop {
         let batch: Vec<Job> = {
             let mut queue = shared.lock_queue();
@@ -326,7 +327,7 @@ fn batcher_loop(engine: Engine, shared: Arc<Shared>, max_batch: usize) {
             // Panic isolation: a crashing handler answers *this* request
             // with a typed internal error and the loop moves on.
             let response = catch_unwind(AssertUnwindSafe(|| {
-                handle_model_request(&engine, &job.request, shared.debug_ops)
+                handle_model_request(&mut engine, &job.request, shared.debug_ops)
             }))
             .unwrap_or_else(|panic| {
                 let what = panic
@@ -349,8 +350,14 @@ fn batcher_loop(engine: Engine, shared: Arc<Shared>, max_batch: usize) {
     }
 }
 
-fn handle_model_request(engine: &Engine, request: &Request, debug_ops: bool) -> String {
+fn handle_model_request(engine: &mut Engine, request: &Request, debug_ops: bool) -> String {
     lasagne_obs::span!("serve.request");
+    let mutate = |engine: &mut Engine, op: &str, m: Mutation| -> String {
+        match engine.apply_mutation(&m) {
+            Ok(report) => mutation_response(op, &report),
+            Err(e) => error_response(&e),
+        }
+    };
     match request {
         Request::Predict { node } => match engine.predict(*node) {
             Ok(p) => predict_response(&p),
@@ -360,6 +367,13 @@ fn handle_model_request(engine: &Engine, request: &Request, debug_ops: bool) -> 
             Ok(ranked) => top_k_response(*node, &ranked),
             Err(e) => error_response(&e),
         },
+        Request::AddEdge { u, v } => mutate(engine, "add_edge", Mutation::AddEdge { u: *u, v: *v }),
+        Request::RemoveEdge { u, v } => {
+            mutate(engine, "remove_edge", Mutation::RemoveEdge { u: *u, v: *v })
+        }
+        Request::AddNode { features } => {
+            mutate(engine, "add_node", Mutation::AddNode { features: features.clone() })
+        }
         Request::DebugPanic => {
             if debug_ops {
                 panic!("debug_panic requested by client");

@@ -1,0 +1,588 @@
+//! Streaming graph mutations with bitwise-exact incremental recomputation
+//! (DESIGN.md §11).
+//!
+//! The engine's propagation cache makes queries O(classes) — but only
+//! because the graph is frozen. This module un-freezes it without giving up
+//! the exactness story. A [`Mutation`] flows through three stages:
+//!
+//! 1. **Delta adjacency** — the raw symmetric adjacency lives in a
+//!    [`DeltaCsr`]; edge toggles are buffer updates, compaction folds them
+//!    back every `compact_every` mutations.
+//! 2. **Operator rebuild** — every derived sparse operator (`Â`, the
+//!    random-walk operator, `A+I`, `A`) is rebuilt from the merged
+//!    adjacency with the *same calls* `GraphContext::new` makes. That is
+//!    O(nnz) and bitwise-equal to a cold reload by construction; what it
+//!    buys is knowing the exact set of operator rows that changed, which is
+//!    tiny for a single edge.
+//! 3. **Dirty-row dataflow** — changed operator rows seed a per-op dirty
+//!    set pushed through the program. Each SpMM expands dirtiness by one
+//!    hop, so a depth-k model dirties exactly the k-hop neighborhood.
+//!    Row-local ops are re-evaluated only on their dirty rows with the same
+//!    kernels full evaluation uses (gather → kernel → scatter is bitwise
+//!    per-row for every op the exporter emits); non-row-local ops
+//!    (`SumAll`, `SumRows`, `GatAggregate`), oversized dirty sets (> half
+//!    an op's rows), compaction, and `add_node` fall back to full
+//!    re-evaluation — which is the cold path itself, so exactness holds on
+//!    every branch.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use lasagne_autograd::{Program, ProgramOp};
+use lasagne_sparse::{Csr, DeltaCsr, DeltaError};
+use lasagne_tensor::Tensor;
+
+use crate::engine::{evaluate_ops, Engine};
+use crate::error::{ServeError, ServeResult};
+use crate::frozen::{FrozenGraph, SparseKind};
+
+/// Mutations applied after every this many mutations by default (tunable
+/// via [`Engine::set_compact_every`] / the CLI `--compact-every` flag).
+pub const DEFAULT_COMPACT_EVERY: usize = 256;
+
+/// A graph mutation. Edges are undirected: both CSR directions are applied
+/// atomically, keeping the adjacency symmetric (the invariant every
+/// normalization and the dirty-expansion rule rely on).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mutation {
+    /// Insert undirected edge `u — v` with weight 1.
+    AddEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// Delete undirected edge `u — v`.
+    RemoveEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// Append a node with the given feature row (initially isolated; wire
+    /// it up with `AddEdge`).
+    AddNode {
+        /// Feature row, `input_dim` long.
+        features: Vec<f32>,
+    },
+}
+
+/// What a mutation did to the caches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutationReport {
+    /// Output rows re-derived (equals `num_nodes` when `full`).
+    pub dirty_rows: usize,
+    /// Whether the engine fell back to full re-evaluation.
+    pub full: bool,
+    /// Node count after the mutation.
+    pub num_nodes: usize,
+    /// Id of the node created by `AddNode`.
+    pub node: Option<usize>,
+}
+
+/// Internal mutation outcome: `rows: None` means a full recompute ran.
+struct Outcome {
+    rows: Option<Vec<usize>>,
+    node: Option<usize>,
+}
+
+/// Everything the engine needs to replay mutations: the program (ops owned,
+/// sparse table as plain `Csr` so the engine stays `Send`), the per-op value
+/// cache, and the delta adjacency. Feature growth from `add_node` mutates
+/// the `Constant` ops listed in `features_ops` directly, so a subsequent
+/// full evaluation is *the* cold evaluation of the grown graph.
+pub(crate) struct StreamingState {
+    ops: Vec<ProgramOp>,
+    output: usize,
+    sparse: Vec<Csr>,
+    kinds: Vec<SparseKind>,
+    features_ops: Vec<usize>,
+    weights: Vec<(String, Tensor)>,
+    /// One cached tensor per op — the full-graph evaluation.
+    values: Vec<Tensor>,
+    raw: DeltaCsr,
+    compact_every: usize,
+    since_compact: usize,
+}
+
+fn map_delta(e: DeltaError) -> ServeError {
+    match e {
+        DeltaError::DuplicateEdge { row, col } => {
+            ServeError::BadRequest(format!("edge {row}-{col} already exists"))
+        }
+        DeltaError::MissingEdge { row, col } => {
+            ServeError::BadRequest(format!("edge {row}-{col} does not exist"))
+        }
+        DeltaError::OutOfRange { row, col, rows, .. } => {
+            ServeError::UnknownNode { node: row.max(col) as usize, num_nodes: rows }
+        }
+    }
+}
+
+impl StreamingState {
+    pub(crate) fn new(
+        program: Program,
+        graph: FrozenGraph,
+        weights: Vec<(String, Tensor)>,
+        values: Vec<Tensor>,
+    ) -> ServeResult<StreamingState> {
+        if graph.kinds.len() != program.sparse.len() {
+            return Err(ServeError::Mismatch(format!(
+                "graph binding has {} kinds for {} sparse operators",
+                graph.kinds.len(),
+                program.sparse.len()
+            )));
+        }
+        if graph.adjacency.rows() != graph.adjacency.cols() {
+            return Err(ServeError::Mismatch("graph adjacency must be square".into()));
+        }
+        for &i in &graph.features_ops {
+            match program.ops.get(i) {
+                Some(ProgramOp::Constant { value }) if value.rows() == graph.adjacency.rows() => {}
+                _ => {
+                    return Err(ServeError::Mismatch(format!(
+                        "graph features op {i} is not an N-row program constant"
+                    )))
+                }
+            }
+        }
+        let sparse = program.sparse.iter().map(|m| (**m).clone()).collect();
+        Ok(StreamingState {
+            ops: program.ops,
+            output: program.output,
+            sparse,
+            kinds: graph.kinds,
+            features_ops: graph.features_ops,
+            weights,
+            values,
+            raw: DeltaCsr::new(graph.adjacency),
+            compact_every: DEFAULT_COMPACT_EVERY,
+            since_compact: 0,
+        })
+    }
+
+    /// Refuse mutations when any sparse operator has no known derivation —
+    /// there would be nothing exact to rebuild it from.
+    fn check_mutable(&self) -> ServeResult<()> {
+        if self.kinds.contains(&SparseKind::Opaque) {
+            return Err(ServeError::Mismatch(
+                "model uses a sparse operator with no recorded derivation from the adjacency; \
+                 graph mutations are unsupported"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Rebuild every derived operator from the merged adjacency — the exact
+    /// `GraphContext::new` call sequence, so each operator is bitwise what a
+    /// cold reload would compute. Returns `A + I` for seed derivation.
+    fn rebuild_sparse(&mut self) -> Csr {
+        let adj = self.raw.to_csr();
+        let with_loops = adj.with_self_loops();
+        for (slot, kind) in self.sparse.iter_mut().zip(&self.kinds) {
+            *slot = match kind {
+                SparseKind::Sym => with_loops.sym_normalize(),
+                SparseKind::Rw => with_loops.rw_normalize(),
+                SparseKind::Loops => with_loops.clone(),
+                SparseKind::Adj => adj.clone(),
+                SparseKind::Opaque => unreachable!("opaque operators rejected by check_mutable"),
+            };
+        }
+        with_loops
+    }
+
+    /// Re-evaluate every op from scratch against the current operators —
+    /// the cold path, and therefore exact by definition.
+    fn full_recompute(&mut self) -> ServeResult<()> {
+        let refs: Vec<&Csr> = self.sparse.iter().collect();
+        self.values = evaluate_ops(&self.ops, &refs, &self.weights)?;
+        Ok(())
+    }
+
+    fn edge_mutation(&mut self, u: usize, v: usize, add: bool) -> ServeResult<Outcome> {
+        self.check_mutable()?;
+        let n = self.raw.rows();
+        if u >= n || v >= n {
+            return Err(ServeError::UnknownNode { node: u.max(v), num_nodes: n });
+        }
+        if u == v {
+            return Err(ServeError::BadRequest(
+                "self-loops are managed by the propagation operators; u and v must differ".into(),
+            ));
+        }
+        let (cu, cv) = (u as u32, v as u32);
+        if add {
+            self.raw.insert(cu, cv, 1.0).map_err(map_delta)?;
+            self.raw.insert(cv, cu, 1.0).expect("mirror insert on a symmetric adjacency");
+        } else {
+            self.raw.remove(cu, cv).map_err(map_delta)?;
+            self.raw.remove(cv, cu).expect("mirror remove on a symmetric adjacency");
+        }
+        self.since_compact += 1;
+        if self.since_compact >= self.compact_every {
+            self.raw.compact();
+            self.since_compact = 0;
+            self.rebuild_sparse();
+            self.full_recompute()?;
+            return Ok(Outcome { rows: None, node: None });
+        }
+        self.incremental(u, v)
+    }
+
+    fn add_node(&mut self, features: &[f32]) -> ServeResult<Outcome> {
+        self.check_mutable()?;
+        let n = self.raw.rows();
+        let &first = self.features_ops.first().ok_or_else(|| {
+            ServeError::BadRequest(
+                "model carries no feature-table binding; 'add_node' is unsupported".into(),
+            )
+        })?;
+        let dim = match &self.ops[first] {
+            ProgramOp::Constant { value } => value.cols(),
+            _ => return Err(ServeError::Internal("features op is not a constant".into())),
+        };
+        if features.len() != dim {
+            return Err(ServeError::BadRequest(format!(
+                "'add_node' needs {dim} features, got {}",
+                features.len()
+            )));
+        }
+        // Node-pinned state makes the model transductive-only: a weight or
+        // non-feature constant with one row per node (Lasagne's Weighted
+        // c-parameters, Stochastic's p-parameter and its neg-max constant)
+        // has no principled value for an unseen node.
+        for (name, t) in &self.weights {
+            if t.rows() == n {
+                return Err(ServeError::BadRequest(format!(
+                    "parameter '{name}' is pinned to the frozen node set; \
+                     'add_node' is unsupported for this model"
+                )));
+            }
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            if let ProgramOp::Constant { value } = op {
+                if value.rows() == n && !self.features_ops.contains(&i) {
+                    return Err(ServeError::BadRequest(format!(
+                        "program constant {i} is pinned to the frozen node set; \
+                         'add_node' is unsupported for this model"
+                    )));
+                }
+            }
+        }
+        let id = self.raw.add_node();
+        let features_ops = self.features_ops.clone();
+        for fi in features_ops {
+            if let ProgramOp::Constant { value } = &mut self.ops[fi] {
+                let mut data = value.as_slice().to_vec();
+                data.extend_from_slice(features);
+                *value = Tensor::from_vec(value.rows() + 1, dim, data)
+                    .map_err(|e| ServeError::Internal(format!("grow features: {e}")))?;
+            }
+        }
+        self.since_compact += 1;
+        if self.since_compact >= self.compact_every {
+            self.raw.compact();
+            self.since_compact = 0;
+        }
+        // Every op's row count changes, so there is no incremental path:
+        // rebuild the operators and run the cold evaluation of the grown
+        // graph (its feature constants are already the grown ones).
+        self.rebuild_sparse();
+        self.full_recompute()?;
+        Ok(Outcome { rows: None, node: Some(id) })
+    }
+
+    /// The incremental path for a single edge toggle on `u — v`.
+    fn incremental(&mut self, u: usize, v: usize) -> ServeResult<Outcome> {
+        let with_loops = self.rebuild_sparse();
+        // Changed-row seeds per operator. Â's row i changes iff i's own row
+        // structure changed (i ∈ {u,v}) or a neighbor's degree did (i
+        // adjacent to u or v) — the post-mutation with-loops rows of u and v
+        // cover both for a single-edge change (on delete, v itself covers
+        // u's lost neighbor and vice versa). Rw/Loops/Adj rows only change
+        // for u and v: their other rows keep identical entries and degrees.
+        let mut sym_seed = BTreeSet::new();
+        for &node in &[u, v] {
+            for &j in with_loops.row_indices(node) {
+                sym_seed.insert(j as usize);
+            }
+            sym_seed.insert(node);
+        }
+        let mut edge_seed = BTreeSet::new();
+        edge_seed.insert(u);
+        edge_seed.insert(v);
+        let changed: Vec<&BTreeSet<usize>> = self
+            .kinds
+            .iter()
+            .map(|k| if matches!(k, SparseKind::Sym) { &sym_seed } else { &edge_seed })
+            .collect();
+
+        // Push dirtiness through the program. Each SpMM expands by one hop
+        // (structure is symmetric, so `row_indices(j)` is exactly the set
+        // of output rows reading input row j). Ops whose every output row
+        // depends on a dirty input (MatMul's right operand, broadcast
+        // sources, reductions, GAT's global attention) force the full path.
+        let mut dirty: Vec<BTreeSet<usize>> = Vec::with_capacity(self.ops.len());
+        let mut full = false;
+        for op in &self.ops {
+            let d: BTreeSet<usize> = match op {
+                ProgramOp::Constant { .. } | ProgramOp::Param { .. } => BTreeSet::new(),
+                ProgramOp::SpMM { m, x } => {
+                    let mut d = changed[*m].clone();
+                    let mat = &self.sparse[*m];
+                    for &j in &dirty[*x] {
+                        for &i in mat.row_indices(j) {
+                            d.insert(i as usize);
+                        }
+                    }
+                    d
+                }
+                ProgramOp::MatMul { a, b } => {
+                    if dirty[*b].is_empty() {
+                        dirty[*a].clone()
+                    } else {
+                        full = true;
+                        BTreeSet::new()
+                    }
+                }
+                ProgramOp::Add { a, b }
+                | ProgramOp::Sub { a, b }
+                | ProgramOp::Mul { a, b }
+                | ProgramOp::Div { a, b } => dirty[*a].union(&dirty[*b]).copied().collect(),
+                ProgramOp::Scale { x, .. }
+                | ProgramOp::AddConst { x, .. }
+                | ProgramOp::Pow { x, .. }
+                | ProgramOp::Exp { x }
+                | ProgramOp::Relu { x }
+                | ProgramOp::LeakyRelu { x, .. }
+                | ProgramOp::Sigmoid { x }
+                | ProgramOp::Tanh { x }
+                | ProgramOp::LogSoftmax { x }
+                | ProgramOp::SliceCols { x, .. }
+                | ProgramOp::SumCols { x } => dirty[*x].clone(),
+                ProgramOp::AddRowBroadcast { x, b } => {
+                    if dirty[*b].is_empty() {
+                        dirty[*x].clone()
+                    } else {
+                        full = true;
+                        BTreeSet::new()
+                    }
+                }
+                ProgramOp::AddColBroadcast { x, c } | ProgramOp::MulColBroadcast { x, c } => {
+                    dirty[*x].union(&dirty[*c]).copied().collect()
+                }
+                ProgramOp::MulScalarNode { x, s } => {
+                    if dirty[*s].is_empty() {
+                        dirty[*x].clone()
+                    } else {
+                        full = true;
+                        BTreeSet::new()
+                    }
+                }
+                ProgramOp::ConcatCols { parts } | ProgramOp::MaxStack { parts } => {
+                    let mut d = BTreeSet::new();
+                    for &p in parts {
+                        d.extend(dirty[p].iter().copied());
+                    }
+                    d
+                }
+                ProgramOp::GatherRows { x, idx } => idx
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, src)| dirty[*x].contains(src))
+                    .map(|(p, _)| p)
+                    .collect(),
+                ProgramOp::SumAll { x } | ProgramOp::SumRows { x } => {
+                    if !dirty[*x].is_empty() {
+                        full = true;
+                    }
+                    BTreeSet::new()
+                }
+                ProgramOp::GatAggregate { adj, z, ssrc, sdst, .. } => {
+                    if !changed[*adj].is_empty()
+                        || !dirty[*z].is_empty()
+                        || !dirty[*ssrc].is_empty()
+                        || !dirty[*sdst].is_empty()
+                    {
+                        full = true;
+                    }
+                    BTreeSet::new()
+                }
+            };
+            if full {
+                break;
+            }
+            // Patching the majority of an op's rows costs more than a clean
+            // sweep; fall back before doing strictly more work than cold.
+            if d.len() * 2 > self.values[dirty.len()].rows().max(1) {
+                full = true;
+                break;
+            }
+            dirty.push(d);
+        }
+        if full {
+            self.full_recompute()?;
+            return Ok(Outcome { rows: None, node: None });
+        }
+
+        // Gather → kernel → scatter each dirty op, in topological order so
+        // inputs are already patched when their consumers re-derive.
+        for i in 0..self.ops.len() {
+            if dirty[i].is_empty() {
+                continue;
+            }
+            let rows: Vec<usize> = dirty[i].iter().copied().collect();
+            let patch = compute_rows(&self.ops[i], &self.sparse, &self.values, &rows)?;
+            let target = &mut self.values[i];
+            for (r, &row) in rows.iter().enumerate() {
+                target.row_mut(row).copy_from_slice(patch.row(r));
+            }
+        }
+        Ok(Outcome { rows: Some(dirty[self.output].iter().copied().collect()), node: None })
+    }
+}
+
+/// Re-derive the selected `rows` of one op from its (already patched)
+/// inputs. Every arm calls the same kernel full evaluation uses, restricted
+/// to the gathered rows — bitwise per-row because those kernels are all
+/// row- or element-local (`matmul_rows` and `Csr::gather_rows` exist
+/// precisely to preserve that for the two matrix products).
+fn compute_rows(
+    op: &ProgramOp,
+    sparse: &[Csr],
+    values: &[Tensor],
+    rows: &[usize],
+) -> ServeResult<Tensor> {
+    let v = |i: usize| -> &Tensor { &values[i] };
+    let gather = |i: usize| -> Tensor { values[i].gather_rows(rows) };
+    Ok(match op {
+        ProgramOp::MatMul { a, b } => v(*a).matmul_rows(v(*b), rows),
+        ProgramOp::SpMM { m, x } => sparse[*m].gather_rows(rows).spmm(v(*x)),
+        ProgramOp::Add { a, b } => gather(*a).add(&gather(*b)),
+        ProgramOp::Sub { a, b } => gather(*a).sub(&gather(*b)),
+        ProgramOp::Mul { a, b } => gather(*a).mul(&gather(*b)),
+        ProgramOp::Div { a, b } => gather(*a).div(&gather(*b)),
+        ProgramOp::Scale { x, alpha } => gather(*x).scale(*alpha),
+        ProgramOp::AddConst { x, c } => gather(*x).add_scalar(*c),
+        ProgramOp::Pow { x, p, eps } => {
+            let (p, eps) = (*p, *eps);
+            gather(*x).map(|t| (t + eps).powf(p))
+        }
+        ProgramOp::Exp { x } => gather(*x).map(f32::exp),
+        ProgramOp::Relu { x } => gather(*x).relu(),
+        ProgramOp::LeakyRelu { x, slope } => gather(*x).leaky_relu(*slope),
+        ProgramOp::Sigmoid { x } => gather(*x).sigmoid(),
+        ProgramOp::Tanh { x } => gather(*x).tanh(),
+        ProgramOp::AddRowBroadcast { x, b } => gather(*x).add_row_broadcast(v(*b)),
+        ProgramOp::AddColBroadcast { x, c } => gather(*x).add_col_broadcast(&gather(*c)),
+        ProgramOp::MulColBroadcast { x, c } => gather(*x).mul_col_broadcast(&gather(*c)),
+        ProgramOp::MulScalarNode { x, s } => gather(*x).scale(v(*s).get(0, 0)),
+        ProgramOp::LogSoftmax { x } => gather(*x).log_softmax_rows(),
+        ProgramOp::ConcatCols { parts } => {
+            let gathered: Vec<Tensor> = parts.iter().map(|&p| gather(p)).collect();
+            let refs: Vec<&Tensor> = gathered.iter().collect();
+            Tensor::concat_cols(&refs)
+        }
+        ProgramOp::SliceCols { x, lo, hi } => gather(*x).slice_cols(*lo, *hi),
+        ProgramOp::GatherRows { x, idx } => {
+            let src = v(*x);
+            let mut out = Tensor::zeros(rows.len(), src.cols());
+            for (r, &p) in rows.iter().enumerate() {
+                out.row_mut(r).copy_from_slice(src.row(idx[p]));
+            }
+            out
+        }
+        ProgramOp::SumCols { x } => gather(*x).sum_cols(),
+        ProgramOp::MaxStack { parts } => {
+            // Mirror of the engine's fold: strict `>` so ties keep the
+            // earliest layer — same comparison per element, same bits.
+            let mut acc = gather(parts[0]);
+            for &p in &parts[1..] {
+                let pv = gather(p);
+                for (best, cand) in acc.as_mut_slice().iter_mut().zip(pv.as_slice()) {
+                    if *cand > *best {
+                        *best = *cand;
+                    }
+                }
+            }
+            acc
+        }
+        ProgramOp::Constant { .. }
+        | ProgramOp::Param { .. }
+        | ProgramOp::SumAll { .. }
+        | ProgramOp::SumRows { .. }
+        | ProgramOp::GatAggregate { .. } => {
+            return Err(ServeError::Internal(format!(
+                "op {op:?} has no row-local recompute (dirty dataflow should have \
+                 forced the full path)"
+            )))
+        }
+    })
+}
+
+impl Engine {
+    /// Whether this model was frozen with a graph binding (mutations work).
+    pub fn supports_mutation(&self) -> bool {
+        self.streaming.is_some()
+    }
+
+    /// Compact the delta adjacency (and take the full-recompute fallback)
+    /// every `n` mutations. Clamped to ≥ 1; `1` makes every mutation a
+    /// cold recompute — the reference the equivalence harness diffs against.
+    pub fn set_compact_every(&mut self, n: usize) {
+        if let Some(st) = self.streaming.as_mut() {
+            st.compact_every = n.max(1);
+        }
+    }
+
+    /// Apply one graph mutation, patching the propagation cache either
+    /// incrementally (dirty rows only) or via full re-evaluation. Either
+    /// way the cache is bitwise what a cold engine on the mutated graph
+    /// would hold — the invariant `streaming_equiv.rs` proves.
+    pub fn apply_mutation(&mut self, mutation: &Mutation) -> ServeResult<MutationReport> {
+        lasagne_obs::span!("serve.mutate");
+        let t0 = Instant::now();
+        let st = self.streaming.as_mut().ok_or_else(|| {
+            ServeError::Mismatch(
+                "frozen model carries no graph binding (exported before streaming support); \
+                 re-export it to enable mutations"
+                    .into(),
+            )
+        })?;
+        let outcome = match mutation {
+            Mutation::AddEdge { u, v } => st.edge_mutation(*u, *v, true)?,
+            Mutation::RemoveEdge { u, v } => st.edge_mutation(*u, *v, false)?,
+            Mutation::AddNode { features } => st.add_node(features)?,
+        };
+        match &outcome.rows {
+            None => {
+                self.logits = st.values[st.output].clone();
+                self.probs = self.logits.softmax_rows();
+            }
+            Some(rows) => {
+                let out = &st.values[st.output];
+                for &r in rows {
+                    self.logits.row_mut(r).copy_from_slice(out.row(r));
+                }
+                // softmax_rows is per-row: softmax of the gathered rows is
+                // bitwise the corresponding rows of a full softmax.
+                let patched = self.logits.gather_rows(rows).softmax_rows();
+                for (i, &r) in rows.iter().enumerate() {
+                    self.probs.row_mut(r).copy_from_slice(patched.row(i));
+                }
+            }
+        }
+        self.meta.num_nodes = st.raw.rows();
+        let report = MutationReport {
+            dirty_rows: outcome.rows.as_ref().map_or(self.meta.num_nodes, Vec::len),
+            full: outcome.rows.is_none(),
+            num_nodes: self.meta.num_nodes,
+            node: outcome.node,
+        };
+        lasagne_obs::counter_add("serve.mutations", 1);
+        lasagne_obs::counter_add("serve.dirty_rows", report.dirty_rows as u64);
+        lasagne_obs::counter_add_ns("serve.recompute_ns", t0.elapsed().as_nanos() as u64);
+        Ok(report)
+    }
+}

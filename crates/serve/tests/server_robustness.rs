@@ -193,6 +193,152 @@ fn protocol_shutdown_stops_the_server() {
     server.wait();
 }
 
+/// Malformed streaming mutations: every abuse gets a typed error and the
+/// server keeps serving correct predictions afterwards.
+#[test]
+fn malformed_mutations_are_typed_and_leave_the_server_healthy() {
+    let (_server, addr) = start_server(false);
+    let mut client = Client::connect(&addr).expect("connect");
+    for (line, kind, what) in [
+        ("{\"op\":\"add_edge\",\"u\":3}", "bad_request", "add_edge without v"),
+        ("{\"op\":\"add_edge\",\"u\":\"a\",\"v\":1}", "bad_request", "non-integer endpoint"),
+        ("{\"op\":\"add_edge\",\"u\":3,\"v\":3}", "bad_request", "self-loop"),
+        ("{\"op\":\"add_edge\",\"u\":0,\"v\":9999}", "unknown_node", "unknown add endpoint"),
+        ("{\"op\":\"remove_edge\",\"u\":9999,\"v\":0}", "unknown_node", "unknown remove endpoint"),
+        ("{\"op\":\"add_node\"}", "bad_request", "add_node without features"),
+        ("{\"op\":\"add_node\",\"features\":[0.5]}", "bad_request", "feature-length mismatch"),
+        ("{\"op\":\"add_node\",\"features\":\"x\"}", "bad_request", "non-array features"),
+    ] {
+        let response = client.roundtrip_raw(line).expect(what);
+        let doc = Json::parse(&response).expect(what);
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false), "{what}");
+        assert_eq!(error_kind(&doc), kind, "{what}");
+    }
+    assert_healthy(&addr);
+}
+
+/// Duplicate insert and missing delete are `bad_request`, and a toggle pair
+/// leaves the server exactly where it started.
+#[test]
+fn duplicate_and_missing_edges_are_bad_request() {
+    let (_server, addr) = start_server(false);
+    let mut client = Client::connect(&addr).expect("connect");
+    // The generator decides whether (2, 17) exists; force it to exist.
+    let first = client.call(&Request::AddEdge { u: 2, v: 17 }).expect("first add");
+    let added_by_us = first.get("ok").and_then(Json::as_bool) == Some(true);
+    let dup = client.call(&Request::AddEdge { u: 2, v: 17 }).expect("duplicate add");
+    assert_eq!(dup.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(error_kind(&dup), "bad_request", "duplicate edge");
+    // Endpoint order must not matter for the delete.
+    let removed = client.remove_edge(17, 2).expect("remove");
+    assert_eq!(removed.get("op").and_then(Json::as_str), Some("remove_edge"));
+    assert_eq!(removed.get("num_nodes").and_then(Json::as_usize), Some(NODES));
+    let missing = client.call(&Request::RemoveEdge { u: 2, v: 17 }).expect("remove again");
+    assert_eq!(missing.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(error_kind(&missing), "bad_request", "missing edge");
+    if !added_by_us {
+        client.add_edge(2, 17).expect("restore pre-existing edge");
+    }
+    assert_healthy(&addr);
+}
+
+/// `add_node` over the wire: the response names the new id, and the grown
+/// node is immediately queryable with a normalized distribution.
+#[test]
+fn add_node_over_the_wire_is_immediately_queryable() {
+    let (_server, addr) = start_server(false);
+    let mut client = Client::connect(&addr).expect("connect");
+    let doc = client.add_node(&[0.1; IN_DIM]).expect("add_node");
+    assert_eq!(doc.get("node").and_then(Json::as_usize), Some(NODES));
+    assert_eq!(doc.get("num_nodes").and_then(Json::as_usize), Some(NODES + 1));
+    assert_eq!(doc.get("full_recompute").and_then(Json::as_bool), Some(true));
+    client.add_edge(NODES, 0).expect("wire the new node in");
+    let pred = client.call_ok(&Request::Predict { node: NODES }).expect("predict new node");
+    let probs = pred.get("probs").and_then(Json::to_f32s).expect("probs");
+    assert_eq!(probs.len(), CLASSES);
+    assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+    // `health` reports the boot-time snapshot; liveness itself must hold.
+    let health = client.call_ok(&Request::Health).expect("health after growth");
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("healthy"));
+}
+
+/// Lasagne-Weighted carries per-node parameters: edge toggles are fine,
+/// `add_node` must be refused typed (no principled value for the new row).
+#[test]
+fn node_pinned_model_refuses_add_node_but_accepts_edges() {
+    let mut rng = TensorRng::seed_from_u64(11);
+    let (g, labels) = dc_sbm(
+        &DcSbmConfig {
+            nodes: NODES,
+            classes: CLASSES,
+            avg_degree: 4.0,
+            homophily: 0.9,
+            power_exponent: 2.5,
+            max_weight_ratio: 20.0,
+        },
+        &mut rng,
+    );
+    let features = lasagne_datasets::generate_features(
+        &g,
+        &labels,
+        CLASSES,
+        &lasagne_datasets::FeatureConfig {
+            dim: IN_DIM,
+            signal: 1.5,
+            noise_scale: 0.5,
+            degree_noise_exponent: 0.3,
+            mask_base: 0.0,
+        },
+        &mut rng,
+    );
+    let ctx = GraphContext::new(&g, features, labels, CLASSES);
+    // Depth 3 so the Weighted aggregator actually registers a per-node
+    // C(l) parameter (depth 2 has a single hidden layer and no C at all).
+    let hyper = Hyper { hidden: 4, depth: 3, dropout_keep: 1.0, ..Hyper::default() };
+    let cfg = lasagne_core::LasagneConfig::from_hyper(&hyper, lasagne_core::AggregatorKind::Weighted);
+    let model = lasagne_core::Lasagne::new(IN_DIM, CLASSES, Some(NODES), &cfg, 5);
+    let engine = Engine::new(freeze(&model, &ctx, "tiny").expect("freeze")).expect("engine");
+    let server = Server::start(
+        engine,
+        ServerConfig { addr: "127.0.0.1:0".into(), ..ServerConfig::default() },
+    )
+    .expect("server start");
+    let addr = server.local_addr().to_string();
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let doc = client.call(&Request::AddNode { features: vec![0.1; IN_DIM] }).expect("add_node");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(error_kind(&doc), "bad_request", "node-pinned add_node");
+    // Edge mutations on the same model still work — toggle and restore.
+    let first = client.call(&Request::AddEdge { u: 1, v: 19 }).expect("add");
+    if first.get("ok").and_then(Json::as_bool) == Some(true) {
+        client.remove_edge(1, 19).expect("restore");
+    } else {
+        client.remove_edge(1, 19).expect("remove existing");
+        client.add_edge(1, 19).expect("restore");
+    }
+    assert_healthy(&addr);
+}
+
+/// A mutation arriving after `shutdown` gets the typed io error on its
+/// still-open connection instead of hanging or crashing the teardown.
+#[test]
+fn mutation_during_shutdown_gets_a_typed_io_error() {
+    let (server, addr) = start_server(false);
+    let mut survivor = Client::connect(&addr).expect("connect survivor");
+    survivor.call_ok(&Request::Health).expect("health before shutdown");
+    let mut trigger = Client::connect(&addr).expect("connect trigger");
+    trigger.call_ok(&Request::Shutdown).expect("shutdown ack");
+    // The ack is written just before the flag flips; give it a beat.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let doc = survivor
+        .call(&Request::AddEdge { u: 0, v: 1 })
+        .expect("open connection must still get a response line");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(error_kind(&doc), "io", "mutation during shutdown");
+    server.wait();
+}
+
 #[test]
 fn flipped_byte_in_frozen_file_fails_typed_on_load() {
     let dir = std::env::temp_dir();

@@ -1,0 +1,348 @@
+//! A mutation buffer over [`Csr`]: edge inserts/deletes and node growth,
+//! with periodic compaction back into a clean CSR.
+//!
+//! The streaming serve path (DESIGN.md §11) keeps the live adjacency in a
+//! [`DeltaCsr`]: mutations are O(log pending) buffer updates, reads merge the
+//! buffer with the base on the fly, and [`DeltaCsr::compact`] folds the
+//! buffer back into the base in O(nnz). The exactness contract is that
+//! [`DeltaCsr::to_csr`] is **bitwise identical** to `Csr::from_coo` over the
+//! final entry set — merged rows list columns in the same ascending order
+//! with the same `f32` bits, so every downstream normalization sees exactly
+//! the matrix a from-scratch build would produce. All failure modes are
+//! typed [`DeltaError`]s; nothing here panics on duplicate or missing edges.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::Csr;
+
+/// Typed mutation failures. The serve layer maps these onto wire errors, so
+/// a bad client request can never take the server down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// `insert` of an entry that is already present (in the base or buffer).
+    DuplicateEdge {
+        /// Row of the offending entry.
+        row: u32,
+        /// Column of the offending entry.
+        col: u32,
+    },
+    /// `remove` of an entry that is not present.
+    MissingEdge {
+        /// Row of the missing entry.
+        row: u32,
+        /// Column of the missing entry.
+        col: u32,
+    },
+    /// Coordinate outside the current matrix shape.
+    OutOfRange {
+        /// Offending row.
+        row: u32,
+        /// Offending column.
+        col: u32,
+        /// Current row count.
+        rows: usize,
+        /// Current column count.
+        cols: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::DuplicateEdge { row, col } => {
+                write!(f, "entry ({row},{col}) already exists")
+            }
+            DeltaError::MissingEdge { row, col } => {
+                write!(f, "entry ({row},{col}) does not exist")
+            }
+            DeltaError::OutOfRange { row, col, rows, cols } => {
+                write!(f, "entry ({row},{col}) outside {rows}x{cols}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// A [`Csr`] plus a mutation buffer.
+///
+/// Invariant: the insert buffer and the *live* base entries are disjoint —
+/// an insert at a coordinate the base holds is only legal if that base entry
+/// is in the delete set (delete-then-reinsert), in which case the insert's
+/// value wins. This keeps merged rows duplicate-free by construction, which
+/// is what makes the bitwise contract with `from_coo` trivial: no summing
+/// ever happens on either path.
+#[derive(Debug, Clone)]
+pub struct DeltaCsr {
+    base: Csr,
+    inserts: BTreeMap<(u32, u32), f32>,
+    deletes: BTreeSet<(u32, u32)>,
+    /// Nodes added since the last compaction (base keeps its old shape).
+    grown: usize,
+    /// Mutations applied since the last compaction.
+    pending: usize,
+}
+
+impl DeltaCsr {
+    /// Wrap a base matrix with an empty mutation buffer.
+    pub fn new(base: Csr) -> DeltaCsr {
+        DeltaCsr { base, inserts: BTreeMap::new(), deletes: BTreeSet::new(), grown: 0, pending: 0 }
+    }
+
+    /// Current row count (base plus nodes added since compaction).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.base.rows() + self.grown
+    }
+
+    /// Current column count.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.base.cols() + self.grown
+    }
+
+    /// Stored entries in the merged view.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.base.nnz() - self.deletes.len() + self.inserts.len()
+    }
+
+    /// Mutations buffered since the last compaction.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// The compacted base (ignores any pending buffer — callers that need
+    /// the live view go through [`DeltaCsr::to_csr`]).
+    #[inline]
+    pub fn base(&self) -> &Csr {
+        &self.base
+    }
+
+    fn base_has(&self, r: u32, c: u32) -> bool {
+        (r as usize) < self.base.rows() && self.base.row_indices(r as usize).binary_search(&c).is_ok()
+    }
+
+    /// Is entry `(r, c)` present in the merged view?
+    pub fn contains(&self, r: u32, c: u32) -> bool {
+        self.inserts.contains_key(&(r, c))
+            || (self.base_has(r, c) && !self.deletes.contains(&(r, c)))
+    }
+
+    fn check_bounds(&self, r: u32, c: u32) -> Result<(), DeltaError> {
+        if (r as usize) >= self.rows() || (c as usize) >= self.cols() {
+            return Err(DeltaError::OutOfRange { row: r, col: c, rows: self.rows(), cols: self.cols() });
+        }
+        Ok(())
+    }
+
+    /// Buffer an entry insert. Errors on out-of-range coordinates and on
+    /// entries already present.
+    pub fn insert(&mut self, r: u32, c: u32, v: f32) -> Result<(), DeltaError> {
+        self.check_bounds(r, c)?;
+        if self.contains(r, c) {
+            return Err(DeltaError::DuplicateEdge { row: r, col: c });
+        }
+        // A deleted base entry stays in `deletes` — the insert's value wins
+        // in the merge, the tombstone keeps the base entry suppressed.
+        self.inserts.insert((r, c), v);
+        self.pending += 1;
+        Ok(())
+    }
+
+    /// Buffer an entry delete. Errors on out-of-range coordinates and on
+    /// entries not present.
+    pub fn remove(&mut self, r: u32, c: u32) -> Result<(), DeltaError> {
+        self.check_bounds(r, c)?;
+        if self.inserts.remove(&(r, c)).is_some() {
+            // Un-buffer the earlier insert; any tombstone under it remains.
+            self.pending += 1;
+            return Ok(());
+        }
+        if self.base_has(r, c) && !self.deletes.contains(&(r, c)) {
+            self.deletes.insert((r, c));
+            self.pending += 1;
+            return Ok(());
+        }
+        Err(DeltaError::MissingEdge { row: r, col: c })
+    }
+
+    /// Grow a square matrix by one empty row/column; returns the new id.
+    /// Edges touching the new node arrive as ordinary [`DeltaCsr::insert`]s.
+    pub fn add_node(&mut self) -> usize {
+        assert_eq!(self.rows(), self.cols(), "add_node: matrix must be square");
+        self.grown += 1;
+        self.pending += 1;
+        self.rows() - 1
+    }
+
+    /// The merged `(column, value)` pairs of row `i`, ascending by column.
+    pub fn row_merged(&self, i: usize) -> Vec<(u32, f32)> {
+        assert!(i < self.rows(), "row_merged: row {i} out of range");
+        let r = i as u32;
+        let mut ins = self.inserts.range((r, 0)..=(r, u32::MAX)).map(|(&(_, c), &v)| (c, v)).peekable();
+        let mut out = Vec::new();
+        if i < self.base.rows() {
+            for (c, v) in self.base.row(i) {
+                if self.deletes.contains(&(r, c)) {
+                    continue;
+                }
+                while let Some(&(ic, iv)) = ins.peek() {
+                    if ic < c {
+                        out.push((ic, iv));
+                        ins.next();
+                    } else {
+                        // `ic == c` is impossible: a live base entry and a
+                        // buffered insert never share a coordinate.
+                        break;
+                    }
+                }
+                out.push((c, v));
+            }
+        }
+        out.extend(ins);
+        out
+    }
+
+    /// Materialize the merged view as a clean [`Csr`] — bitwise identical to
+    /// `Csr::from_coo` over the same final entries.
+    pub fn to_csr(&self) -> Csr {
+        let rows = self.rows();
+        let mut indptr = Vec::with_capacity(rows + 1);
+        indptr.push(0);
+        let mut indices = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        for i in 0..rows {
+            for (c, v) in self.row_merged(i) {
+                indices.push(c);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+        }
+        Csr::from_parts(rows, self.cols(), indptr, indices, values)
+    }
+
+    /// Fold the buffer into the base in place (via [`Csr::replace_parts`],
+    /// which also drops the base's cached transpose) and reset the buffer.
+    pub fn compact(&mut self) {
+        let merged = self.to_csr();
+        let rows = merged.rows();
+        let cols = merged.cols();
+        let indptr = merged.indptr().to_vec();
+        let indices = merged.indices().to_vec();
+        let values = merged.values().to_vec();
+        self.base.replace_parts(rows, cols, indptr, indices, values);
+        self.inserts.clear();
+        self.deletes.clear();
+        self.grown = 0;
+        self.pending = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Csr {
+        Csr::from_coo(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)])
+    }
+
+    #[test]
+    fn insert_then_to_csr_matches_from_coo() {
+        let mut d = DeltaCsr::new(path3());
+        d.insert(0, 2, 5.0).unwrap();
+        d.insert(2, 0, 5.0).unwrap();
+        let expect = Csr::from_coo(
+            3,
+            3,
+            &[(0, 1, 1.0), (0, 2, 5.0), (1, 0, 1.0), (1, 2, 1.0), (2, 0, 5.0), (2, 1, 1.0)],
+        );
+        assert_eq!(d.to_csr(), expect);
+        assert_eq!(d.nnz(), 6);
+    }
+
+    #[test]
+    fn remove_then_to_csr_matches_from_coo() {
+        let mut d = DeltaCsr::new(path3());
+        d.remove(1, 2).unwrap();
+        d.remove(2, 1).unwrap();
+        let expect = Csr::from_coo(3, 3, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        assert_eq!(d.to_csr(), expect);
+    }
+
+    #[test]
+    fn duplicate_insert_is_typed_error() {
+        let mut d = DeltaCsr::new(path3());
+        assert_eq!(d.insert(0, 1, 1.0), Err(DeltaError::DuplicateEdge { row: 0, col: 1 }));
+        d.insert(0, 2, 1.0).unwrap();
+        assert_eq!(d.insert(0, 2, 2.0), Err(DeltaError::DuplicateEdge { row: 0, col: 2 }));
+    }
+
+    #[test]
+    fn missing_remove_is_typed_error() {
+        let mut d = DeltaCsr::new(path3());
+        assert_eq!(d.remove(0, 2), Err(DeltaError::MissingEdge { row: 0, col: 2 }));
+        d.remove(0, 1).unwrap();
+        assert_eq!(d.remove(0, 1), Err(DeltaError::MissingEdge { row: 0, col: 1 }));
+    }
+
+    #[test]
+    fn out_of_range_is_typed_error() {
+        let mut d = DeltaCsr::new(path3());
+        assert_eq!(
+            d.insert(0, 3, 1.0),
+            Err(DeltaError::OutOfRange { row: 0, col: 3, rows: 3, cols: 3 })
+        );
+        assert_eq!(
+            d.remove(7, 0),
+            Err(DeltaError::OutOfRange { row: 7, col: 0, rows: 3, cols: 3 })
+        );
+    }
+
+    #[test]
+    fn delete_then_reinsert_takes_new_value() {
+        let mut d = DeltaCsr::new(path3());
+        d.remove(0, 1).unwrap();
+        d.insert(0, 1, 9.0).unwrap();
+        assert_eq!(d.row_merged(0), vec![(1, 9.0)]);
+        d.compact();
+        assert_eq!(d.base().row_values(0), &[9.0]);
+    }
+
+    #[test]
+    fn insert_then_remove_round_trips() {
+        let mut d = DeltaCsr::new(path3());
+        d.insert(0, 2, 1.0).unwrap();
+        d.remove(0, 2).unwrap();
+        assert_eq!(d.to_csr(), path3());
+        assert_eq!(d.remove(0, 2), Err(DeltaError::MissingEdge { row: 0, col: 2 }));
+    }
+
+    #[test]
+    fn add_node_grows_shape_and_accepts_edges() {
+        let mut d = DeltaCsr::new(path3());
+        let id = d.add_node();
+        assert_eq!(id, 3);
+        assert_eq!(d.rows(), 4);
+        d.insert(3, 0, 1.0).unwrap();
+        d.insert(0, 3, 1.0).unwrap();
+        let m = d.to_csr();
+        assert_eq!(m.shape(), (4, 4));
+        assert_eq!(m.row_indices(3), &[0]);
+        assert_eq!(m.row_indices(0), &[1, 3]);
+    }
+
+    #[test]
+    fn compact_resets_pending_and_preserves_view() {
+        let mut d = DeltaCsr::new(path3());
+        d.insert(0, 2, 2.0).unwrap();
+        d.remove(1, 0).unwrap();
+        assert_eq!(d.pending(), 2);
+        let before = d.to_csr();
+        d.compact();
+        assert_eq!(d.pending(), 0);
+        assert_eq!(d.to_csr(), before);
+        assert_eq!(d.base(), &before);
+    }
+}

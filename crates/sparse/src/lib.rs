@@ -19,7 +19,9 @@
 //! ```
 
 mod csr;
+mod delta;
 mod norm;
 mod structure;
 
 pub use csr::Csr;
+pub use delta::{DeltaCsr, DeltaError};

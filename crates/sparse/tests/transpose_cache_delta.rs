@@ -1,0 +1,65 @@
+//! Regression test for the delta/compaction half of the transpose-cache
+//! invalidation contract (companion to `transpose_cache.rs`, which covers
+//! `values_mut`): `Csr::replace_parts` — the compaction path of `DeltaCsr`
+//! — must drop the lazily cached transpose, so an `spmm_t` issued after an
+//! `add_edge`-then-compact reflects the new structure instead of replaying
+//! a stale cache built on the pre-mutation graph.
+//!
+//! One `#[test]` only: the pool thread count is process-global, so
+//! concurrent tests sweeping `set_threads` would race.
+
+use lasagne_sparse::{Csr, DeltaCsr};
+use lasagne_tensor::Tensor;
+
+#[test]
+fn compaction_after_add_edge_invalidates_the_cached_transpose() {
+    for &threads in &[1usize, 4] {
+        lasagne_par::set_threads(threads);
+
+        let adj = Csr::from_coo(4, 4, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]);
+        let h = Tensor::from_fn(4, 2, |i, j| (i * 2 + j + 1) as f32);
+
+        let mut d = DeltaCsr::new(adj);
+        // Populate the base's transpose cache, exactly as a training/serve
+        // loop would have before the first mutation arrives.
+        let before = d.base().spmm_t(&h);
+        assert_eq!(&d.base().transpose().spmm(&h), &before, "{threads} threads: baseline");
+
+        // add_edge 0-3 (both directions, as the serve layer applies it),
+        // then compact: the base is rewritten in place via `replace_parts`.
+        d.insert(0, 3, 1.0).unwrap();
+        d.insert(3, 0, 1.0).unwrap();
+        d.compact();
+
+        // The next spmm_t must rebuild the transpose on the new structure…
+        let after = d.base().spmm_t(&h);
+        assert_eq!(
+            &d.base().transpose().spmm(&h),
+            &after,
+            "{threads} threads: spmm_t replayed a stale transpose across replace_parts"
+        );
+        // …and the new edge genuinely changes the product (guards against
+        // the assertion passing vacuously).
+        assert_ne!(
+            before.as_slice(),
+            after.as_slice(),
+            "{threads} threads: fixture edge did not affect the product"
+        );
+
+        // Same contract on a bare Csr driven through replace_parts directly.
+        let mut m = Csr::from_coo(3, 3, &[(0, 1, 2.0), (1, 0, 2.0)]);
+        let x = Tensor::from_fn(3, 2, |i, j| (i + j) as f32 + 0.5);
+        let stale = m.spmm_t(&x);
+        let grown = Csr::from_coo(3, 3, &[(0, 1, 2.0), (1, 0, 2.0), (2, 0, 1.0), (0, 2, 1.0)]);
+        m.replace_parts(
+            3,
+            3,
+            grown.indptr().to_vec(),
+            grown.indices().to_vec(),
+            grown.values().to_vec(),
+        );
+        let fresh = m.spmm_t(&x);
+        assert_eq!(&m.transpose().spmm(&x), &fresh, "{threads} threads: bare replace_parts");
+        assert_ne!(stale.as_slice(), fresh.as_slice());
+    }
+}

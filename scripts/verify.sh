@@ -92,4 +92,35 @@ cargo run --release --offline -p lasagne-bench --bin serve-bench -- \
     --smoke --out target/BENCH_serve.smoke.json > /dev/null
 test -s target/BENCH_serve.smoke.json
 
+echo "== streaming: bitwise property suites (delta layer + live-vs-cold engines) =="
+cargo test -q --offline -p lasagne-sparse --test delta
+cargo test -q --offline -p lasagne-sparse --test transpose_cache_delta
+cargo test -q --offline -p lasagne-serve --test streaming_equiv
+cargo test -q --offline -p lasagne-serve --test server_robustness
+
+echo "== streaming: live mutated server is bitwise-equal to an always-cold engine =="
+# The drive replays a scripted mutation session over TCP against a server
+# running the incremental path, then dumps every node's prediction bits.
+# The reference replays the identical script on a local engine pinned to
+# compact_every=1 (every mutation is a from-scratch recompute). cmp of the
+# two dumps is the end-to-end exactness check of DESIGN.md §11.
+cargo run --release --offline --bin lasagne-cli -- \
+    serve --frozen target/verify_frozen_a.json --port 17879 > /dev/null &
+STREAM_PID=$!
+cargo run --release --offline -p lasagne-bench --bin streaming-bench -- \
+    --drive --addr 127.0.0.1:17879 --seed 7 --mutations 40 \
+    --out target/verify_stream_drive.txt
+cargo run --release --offline -p lasagne-bench --bin serve-bench -- \
+    --shutdown --addr 127.0.0.1:17879
+wait "$STREAM_PID"
+cargo run --release --offline -p lasagne-bench --bin streaming-bench -- \
+    --reference --frozen target/verify_frozen_a.json --seed 7 --mutations 40 \
+    --out target/verify_stream_reference.txt
+cmp target/verify_stream_drive.txt target/verify_stream_reference.txt
+
+echo "== streaming bench smoke (latency vs dirty-set size, JSON artifact) =="
+cargo run --release --offline -p lasagne-bench --bin streaming-bench -- \
+    --smoke --out target/BENCH_streaming.smoke.json > /dev/null
+test -s target/BENCH_streaming.smoke.json
+
 echo "verify: OK"

@@ -66,7 +66,7 @@ fn usage() -> ! {
     eprintln!("usage: lasagne-cli <dataset> <model> [--depth N] [--seeds N] [--epochs N] [--data-seed N] [--save PATH]");
     eprintln!("                   [--resume PATH] [--max-recoveries N] [--clip-norm X] [--threads N] [--export PATH]");
     eprintln!("                   [--trace-out PATH] [--trace-summary] [--trace-deterministic]");
-    eprintln!("       lasagne-cli serve --frozen PATH [--port N] [--host ADDR] [--max-batch N]");
+    eprintln!("       lasagne-cli serve --frozen PATH [--port N] [--host ADDR] [--max-batch N] [--compact-every N]");
     eprintln!("       lasagne-cli --list");
     eprintln!("datasets: {}", DatasetId::all().map(|d| d.name()).join(", "));
     eprintln!("models:   {}", MODELS.join(", "));
@@ -97,6 +97,7 @@ struct ServeArgs {
     port: u16,
     max_batch: usize,
     threads: Option<usize>,
+    compact_every: Option<usize>,
 }
 
 fn parse_serve_args(argv: &[String]) -> ServeArgs {
@@ -105,6 +106,7 @@ fn parse_serve_args(argv: &[String]) -> ServeArgs {
     let mut port: u16 = 7878;
     let mut max_batch: usize = 64;
     let mut threads: Option<usize> = None;
+    let mut compact_every: Option<usize> = None;
     let mut i = 0;
     while i < argv.len() {
         let flag = argv[i].as_str();
@@ -125,6 +127,11 @@ fn parse_serve_args(argv: &[String]) -> ServeArgs {
                     value.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| bad_value(flag, value)),
                 )
             }
+            "--compact-every" => {
+                compact_every = Some(
+                    value.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| bad_value(flag, value)),
+                )
+            }
             other => unknown_flag(other),
         }
         i += 2;
@@ -133,7 +140,7 @@ fn parse_serve_args(argv: &[String]) -> ServeArgs {
         eprintln!("serve: missing required --frozen PATH");
         usage()
     };
-    ServeArgs { frozen, host, port, max_batch, threads }
+    ServeArgs { frozen, host, port, max_batch, threads, compact_every }
 }
 
 /// Run the `serve` subcommand: load + cache the frozen model, bind, and
@@ -154,10 +161,16 @@ fn run_serve(args: ServeArgs) -> ! {
         frozen.meta.num_classes,
         frozen.weights.len(),
     );
-    let engine = Engine::new(frozen).unwrap_or_else(|e| {
+    let mut engine = Engine::new(frozen).unwrap_or_else(|e| {
         eprintln!("error: cannot build inference engine: {e}");
         std::process::exit(1);
     });
+    if let Some(n) = args.compact_every {
+        engine.set_compact_every(n);
+    }
+    if engine.supports_mutation() {
+        println!("streaming mutations enabled (add_edge / remove_edge / add_node)");
+    }
     let config = lasagne_serve::ServerConfig {
         addr: format!("{}:{}", args.host, args.port),
         max_batch: args.max_batch,
