@@ -249,6 +249,17 @@ fn run_drive(args: &Args) {
         num_nodes,
     );
     write_out(&args.out, &dump);
+    // Overload-contract fields (PR 7): the enriched `stats` payload must
+    // round-trip through the testkit codec as plain numbers.
+    let stats = client.call_ok(&Request::Stats).unwrap_or_else(|e| fail(&format!("stats: {e}")));
+    for field in ["queue_depth", "shed", "expired", "swaps", "model_version", "connections"] {
+        if stats.get(field).and_then(Json::as_usize).is_none() {
+            fail(&format!("stats response missing numeric field '{field}'"));
+        }
+    }
+    if stats.get("model_version").and_then(Json::as_usize) < Some(1) {
+        fail("stats model_version must be >= 1");
+    }
     println!("drive ok: {} scripted mutations, {} nodes dumped", args.mutations, num_nodes);
 }
 
@@ -380,15 +391,8 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 /// Connect with retries — verify.sh starts the server in the background,
 /// so the first attempts may race its bind.
 fn connect_patiently(addr: &str) -> Client {
-    let mut last = String::new();
-    for _ in 0..40 {
-        match Client::connect(addr) {
-            Ok(client) => return client,
-            Err(e) => last = e.to_string(),
-        }
-        std::thread::sleep(std::time::Duration::from_millis(250));
-    }
-    fail(&format!("connect {addr}: {last}"))
+    Client::connect_with_retry(addr, 12, 50, 0x57a7)
+        .unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")))
 }
 
 fn main() {

@@ -15,7 +15,11 @@
 //!   and recorded when the guard drops. Per-thread nesting is tracked by a
 //!   thread-local stack; timing uses monotonic [`Instant`].
 //! - Counters are process-global named `u64` sums: `spmm.nnz`,
-//!   `matmul.flops`, `train.recoveries`, `par.chunks`, …
+//!   `matmul.flops`, `train.recoveries`, `par.chunks`, … The serve
+//!   overload machinery (DESIGN.md §12) ticks `serve.shed`,
+//!   `serve.expired`, `serve.swaps`, `serve.too_large`,
+//!   `serve.conn_refused`, and `serve.idle_reaped` here, so a traced
+//!   server run shows its overload behavior next to its kernel costs.
 //! - [`TraceSink::start`] resets the global state and enables recording;
 //!   [`TraceSink::finish`] disables it and returns a [`TraceReport`] —
 //!   depth-first span rows plus name-sorted counters — which serializes to

@@ -4,8 +4,9 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
-use lasagne_testkit::Json;
+use lasagne_testkit::{Json, Rng};
 
 use crate::error::{ServeError, ServeResult};
 use crate::protocol::Request;
@@ -21,6 +22,38 @@ impl Client {
     pub fn connect(addr: &str) -> ServeResult<Client> {
         let stream = TcpStream::connect(addr)
             .map_err(|e| ServeError::Io(format!("connect {addr}: {e}")))?;
+        Client::from_stream(stream)
+    }
+
+    /// Connect with bounded exponential backoff + jitter: try up to
+    /// `attempts` times, sleeping `base_ms · 2^i · (1 + jitter)` between
+    /// failures, jitter drawn in `[0, 1)` from the deterministic testkit
+    /// PRNG seeded with `seed` (so retry schedules are replayable in tests
+    /// yet fleet-decorrelated by distinct seeds). This replaces
+    /// connect-or-die for callers racing a server that is still binding.
+    pub fn connect_with_retry(
+        addr: &str,
+        attempts: usize,
+        base_ms: u64,
+        seed: u64,
+    ) -> ServeResult<Client> {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut last = ServeError::Io(format!("connect {addr}: no attempts made"));
+        for attempt in 0..attempts.max(1) {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = e,
+            }
+            if attempt + 1 < attempts.max(1) {
+                let backoff = base_ms.saturating_mul(1u64 << attempt.min(10)) as f64;
+                let jittered = backoff * (1.0 + rng.range_f64(0.0, 1.0));
+                std::thread::sleep(Duration::from_millis(jittered as u64));
+            }
+        }
+        Err(last)
+    }
+
+    fn from_stream(stream: TcpStream) -> ServeResult<Client> {
         // One-line requests + one-line responses are exactly the traffic
         // pattern Nagle + delayed ACK punishes (~40-200 ms stalls).
         let _ = stream.set_nodelay(true);
@@ -30,18 +63,39 @@ impl Client {
         Ok(Client { writer: stream, reader })
     }
 
+    /// Set a per-call deadline on both directions of the socket: any
+    /// single send or receive that takes longer fails with a typed
+    /// [`ServeError::Timeout`] instead of blocking forever on a stalled
+    /// server. `None` restores fully blocking behavior.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> ServeResult<()> {
+        let apply = |s: &TcpStream| -> std::io::Result<()> {
+            s.set_read_timeout(timeout)?;
+            s.set_write_timeout(timeout)
+        };
+        apply(&self.writer).map_err(|e| ServeError::Io(format!("set timeout: {e}")))?;
+        apply(self.reader.get_ref()).map_err(|e| ServeError::Io(format!("set timeout: {e}")))
+    }
+
+    fn map_io(stage: &str, e: std::io::Error) -> ServeError {
+        if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) {
+            ServeError::Timeout(format!("{stage} deadline elapsed"))
+        } else {
+            ServeError::Io(format!("{stage}: {e}"))
+        }
+    }
+
     /// Send one raw line and read one response line (lets tests send
     /// garbage or truncated requests on purpose).
     pub fn roundtrip_raw(&mut self, line: &str) -> ServeResult<String> {
         self.writer
             .write_all(line.as_bytes())
             .and_then(|()| self.writer.write_all(b"\n"))
-            .map_err(|e| ServeError::Io(format!("send: {e}")))?;
+            .map_err(|e| Client::map_io("send", e))?;
         let mut response = String::new();
         let n = self
             .reader
             .read_line(&mut response)
-            .map_err(|e| ServeError::Io(format!("recv: {e}")))?;
+            .map_err(|e| Client::map_io("recv", e))?;
         if n == 0 {
             return Err(ServeError::Io("server closed the connection".into()));
         }
@@ -88,5 +142,12 @@ impl Client {
     /// `node` field carries its id.
     pub fn add_node(&mut self, features: &[f32]) -> ServeResult<Json> {
         self.call_ok(&Request::AddNode { features: features.to_vec() })
+    }
+
+    /// Ask the server to hot-swap to the frozen model at `path`
+    /// (server-side path). Returns the full response; its `model_version`
+    /// is the version the new model will serve as.
+    pub fn swap_model(&mut self, path: &str) -> ServeResult<Json> {
+        self.call_ok(&Request::SwapModel { path: path.to_string() })
     }
 }

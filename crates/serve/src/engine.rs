@@ -161,6 +161,14 @@ impl Engine {
         Ok(Engine { meta: frozen.meta, logits, probs, streaming })
     }
 
+    /// Load + checksum the frozen file at `path` and build its engine —
+    /// `Engine::new(FrozenModel::load(path)?)` as one call. This is the
+    /// hot-swap loading path: it runs on the swapping thread so the
+    /// batcher keeps serving the old model while the new one propagates.
+    pub fn load_path(path: &std::path::Path) -> ServeResult<Engine> {
+        Engine::new(FrozenModel::load(path)?)
+    }
+
     /// Provenance/shape metadata of the loaded model.
     pub fn meta(&self) -> &FrozenMeta {
         &self.meta

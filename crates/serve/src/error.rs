@@ -40,6 +40,36 @@ pub enum ServeError {
     /// A worker panicked while handling the request; the server survives
     /// and reports this.
     Internal(String),
+    /// The admission queue is full: the request was shed without queueing.
+    /// `retry_after_ms` is the server's estimate of when capacity frees up.
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request sat in the queue past its deadline; the batcher dropped
+    /// it instead of computing a dead answer.
+    DeadlineExceeded {
+        /// How long the request waited before being dropped, milliseconds.
+        waited_ms: u64,
+        /// The deadline it was stamped with at enqueue, milliseconds.
+        deadline_ms: u64,
+    },
+    /// A request line exceeded the server's byte cap. Framing is lost, so
+    /// the server answers typed and closes the connection.
+    RequestTooLarge {
+        /// The configured per-line byte cap.
+        limit: usize,
+    },
+    /// The server is at its connection cap; this connection was refused.
+    TooManyConnections {
+        /// The configured connection cap.
+        limit: usize,
+    },
+    /// The server is draining its queue for shutdown; no new model work is
+    /// admitted (control ops still answer).
+    Draining,
+    /// A client-side read/write deadline elapsed before the server answered.
+    Timeout(String),
 }
 
 impl ServeError {
@@ -55,6 +85,12 @@ impl ServeError {
             ServeError::BadRequest(_) => "bad_request",
             ServeError::Export(_) => "export",
             ServeError::Internal(_) => "internal",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ServeError::RequestTooLarge { .. } => "request_too_large",
+            ServeError::TooManyConnections { .. } => "too_many_connections",
+            ServeError::Draining => "draining",
+            ServeError::Timeout(_) => "timeout",
         }
     }
 }
@@ -75,6 +111,20 @@ impl fmt::Display for ServeError {
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServeError::Export(m) => write!(f, "export failed: {m}"),
             ServeError::Internal(m) => write!(f, "internal error: {m}"),
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded: admission queue full, retry in ~{retry_after_ms} ms")
+            }
+            ServeError::DeadlineExceeded { waited_ms, deadline_ms } => {
+                write!(f, "deadline exceeded: waited {waited_ms} ms past a {deadline_ms} ms budget")
+            }
+            ServeError::RequestTooLarge { limit } => {
+                write!(f, "request line exceeds the {limit}-byte cap; closing the connection")
+            }
+            ServeError::TooManyConnections { limit } => {
+                write!(f, "connection refused: server is at its cap of {limit} connections")
+            }
+            ServeError::Draining => write!(f, "server is draining for shutdown"),
+            ServeError::Timeout(m) => write!(f, "timeout: {m}"),
         }
     }
 }

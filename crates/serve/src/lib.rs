@@ -23,6 +23,12 @@
 //!    delta adjacency and re-derive only the dirty k-hop rows of the
 //!    propagation cache; the result is bitwise what a cold reload of the
 //!    mutated graph would compute, a property the test harness proves.
+//! 5. **Overload contract** (DESIGN.md §12) — bounded admission with typed
+//!    `overloaded` sheds + retry hints, per-request deadlines, request-line
+//!    byte caps, connection caps, idle reaping, `ok|degraded|draining`
+//!    health states on a lock-light fast path, and atomic hot model swap
+//!    ([`Server::swap`] / the `swap_model` verb) with a monotonic
+//!    `model_version` echoed in every response.
 //!
 //! ```no_run
 //! use lasagne_serve::{freeze, Engine, FrozenModel, Server, ServerConfig};
@@ -52,8 +58,9 @@ pub use error::{ServeError, ServeResult};
 pub use export::freeze;
 pub use frozen::{FrozenGraph, FrozenMeta, FrozenModel, SparseKind};
 pub use protocol::{
-    error_response, health_response, mutation_response, predict_response, shutdown_response,
-    stats_response, top_k_response, Request, StatsSnapshot,
+    debug_sleep_response, error_response, error_response_versioned, health_response,
+    mutation_response, predict_response, shutdown_response, stats_response, swap_response,
+    top_k_response, Request, StatsSnapshot,
 };
 pub use server::{Server, ServerConfig};
 pub use streaming::{Mutation, MutationReport, DEFAULT_COMPACT_EVERY};

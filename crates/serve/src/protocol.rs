@@ -50,13 +50,27 @@ pub enum Request {
     },
     /// Liveness probe: answered inline, never queued behind model work.
     Health,
-    /// Serving counters (request/batch/latency).
+    /// Serving counters (request/batch/latency/overload/swap).
     Stats,
+    /// Load + checksum a new frozen file off the batcher thread, then
+    /// atomically install it at the next batch boundary. In-flight work
+    /// drains on the old model; new requests answer on the new one.
+    SwapModel {
+        /// Server-side path of the frozen file to load.
+        path: String,
+    },
     /// Stop the server.
     Shutdown,
     /// Test-only op (enabled by `ServerConfig::debug_ops`): the worker
     /// panics while handling it, exercising panic isolation.
     DebugPanic,
+    /// Test-only op (enabled by `ServerConfig::debug_ops`): the batcher
+    /// sleeps for `ms` while "handling" it — the chaos suite's tool for
+    /// making model work slow enough to fill the admission queue.
+    DebugSleep {
+        /// Milliseconds the batcher sleeps.
+        ms: u64,
+    },
 }
 
 impl Request {
@@ -108,8 +122,20 @@ impl Request {
             }
             "health" => Ok(Request::Health),
             "stats" => Ok(Request::Stats),
+            "swap_model" => {
+                let path = doc.get("path").and_then(Json::as_str).ok_or_else(|| {
+                    ServeError::BadRequest("'swap_model' needs string field 'path'".into())
+                })?;
+                Ok(Request::SwapModel { path: path.to_string() })
+            }
             "shutdown" => Ok(Request::Shutdown),
             "debug_panic" => Ok(Request::DebugPanic),
+            "debug_sleep" => {
+                let ms = doc.get("ms").and_then(Json::as_u64).ok_or_else(|| {
+                    ServeError::BadRequest("'debug_sleep' needs integer field 'ms'".into())
+                })?;
+                Ok(Request::DebugSleep { ms })
+            }
             other => Err(ServeError::BadRequest(format!("unknown op '{other}'"))),
         }
     }
@@ -142,8 +168,16 @@ impl Request {
             ],
             Request::Health => vec![("op".to_string(), Json::Str("health".into()))],
             Request::Stats => vec![("op".to_string(), Json::Str("stats".into()))],
+            Request::SwapModel { path } => vec![
+                ("op".to_string(), Json::Str("swap_model".into())),
+                ("path".to_string(), Json::Str(path.clone())),
+            ],
             Request::Shutdown => vec![("op".to_string(), Json::Str("shutdown".into()))],
             Request::DebugPanic => vec![("op".to_string(), Json::Str("debug_panic".into()))],
+            Request::DebugSleep { ms } => vec![
+                ("op".to_string(), Json::Str("debug_sleep".into())),
+                ("ms".to_string(), Json::Num(*ms as f64)),
+            ],
         };
         Json::Obj(obj).to_string()
     }
@@ -164,16 +198,34 @@ pub struct StatsSnapshot {
     pub p50_us: f64,
     /// 99th-percentile request latency, microseconds.
     pub p99_us: f64,
+    /// Requests currently sitting in the admission queue.
+    pub queue_depth: u64,
+    /// Requests shed with a typed `overloaded` (queue was full).
+    pub shed: u64,
+    /// Requests dropped with a typed `deadline_exceeded` (expired in queue).
+    pub expired: u64,
+    /// Hot model swaps installed since start.
+    pub swaps: u64,
+    /// Monotonic version of the currently installed model (starts at 1).
+    pub model_version: u64,
+    /// Live client connections (including the one asking).
+    pub connections: u64,
 }
 
 fn ok_head() -> (String, Json) {
     ("ok".to_string(), Json::Bool(true))
 }
 
-/// `predict` success response line.
-pub fn predict_response(p: &Prediction) -> String {
+fn version_field(version: u64) -> (String, Json) {
+    ("model_version".to_string(), Json::Num(version as f64))
+}
+
+/// `predict` success response line, stamped with the version of the model
+/// that computed it.
+pub fn predict_response(p: &Prediction, version: u64) -> String {
     Json::Obj(vec![
         ok_head(),
+        version_field(version),
         ("node".into(), Json::Num(p.node as f64)),
         ("class".into(), Json::Num(p.class as f64)),
         ("probs".into(), Json::from_f32s(p.probs.iter().copied())),
@@ -182,9 +234,10 @@ pub fn predict_response(p: &Prediction) -> String {
 }
 
 /// `top_k` success response line.
-pub fn top_k_response(node: usize, ranked: &[(usize, f32)]) -> String {
+pub fn top_k_response(node: usize, ranked: &[(usize, f32)], version: u64) -> String {
     Json::Obj(vec![
         ok_head(),
+        version_field(version),
         ("node".into(), Json::Num(node as f64)),
         (
             "top".into(),
@@ -205,11 +258,14 @@ pub fn top_k_response(node: usize, ranked: &[(usize, f32)]) -> String {
 }
 
 /// `health` response line (includes the model identity so probes double as
-/// a deployment sanity check).
-pub fn health_response(meta: &FrozenMeta) -> String {
+/// a deployment sanity check). `status` is the degradation state machine of
+/// DESIGN.md §12: `ok` | `degraded` | `draining`.
+pub fn health_response(meta: &FrozenMeta, status: &str, version: u64, queue_depth: u64) -> String {
     Json::Obj(vec![
         ok_head(),
-        ("status".into(), Json::Str("healthy".into())),
+        ("status".into(), Json::Str(status.into())),
+        version_field(version),
+        ("queue_depth".into(), Json::Num(queue_depth as f64)),
         ("model".into(), Json::Str(meta.model.clone())),
         ("dataset".into(), Json::Str(meta.dataset.clone())),
         ("num_nodes".into(), Json::Num(meta.num_nodes as f64)),
@@ -228,15 +284,22 @@ pub fn stats_response(s: &StatsSnapshot) -> String {
         ("mean_batch".into(), Json::Num(s.mean_batch)),
         ("p50_us".into(), Json::Num(s.p50_us)),
         ("p99_us".into(), Json::Num(s.p99_us)),
+        ("queue_depth".into(), Json::Num(s.queue_depth as f64)),
+        ("shed".into(), Json::Num(s.shed as f64)),
+        ("expired".into(), Json::Num(s.expired as f64)),
+        ("swaps".into(), Json::Num(s.swaps as f64)),
+        version_field(s.model_version),
+        ("connections".into(), Json::Num(s.connections as f64)),
     ])
     .to_string()
 }
 
 /// `add_edge` / `remove_edge` / `add_node` success response line. `op`
 /// echoes the verb; `node` is present only for `add_node`.
-pub fn mutation_response(op: &str, r: &MutationReport) -> String {
+pub fn mutation_response(op: &str, r: &MutationReport, version: u64) -> String {
     let mut fields = vec![
         ok_head(),
+        version_field(version),
         ("op".into(), Json::Str(op.into())),
         ("dirty_rows".into(), Json::Num(r.dirty_rows as f64)),
         ("full_recompute".into(), Json::Bool(r.full)),
@@ -248,22 +311,60 @@ pub fn mutation_response(op: &str, r: &MutationReport) -> String {
     Json::Obj(fields).to_string()
 }
 
+/// `swap_model` acknowledgement: the new file loaded and checksummed clean
+/// and will be installed at the next batch boundary as `model_version`.
+pub fn swap_response(version: u64) -> String {
+    Json::Obj(vec![
+        ok_head(),
+        ("status".into(), Json::Str("pending".into())),
+        version_field(version),
+    ])
+    .to_string()
+}
+
+/// `debug_sleep` acknowledgement (test-only op).
+pub fn debug_sleep_response(version: u64) -> String {
+    Json::Obj(vec![ok_head(), version_field(version), ("op".into(), Json::Str("debug_sleep".into()))])
+        .to_string()
+}
+
 /// `shutdown` acknowledgement line.
 pub fn shutdown_response() -> String {
     Json::Obj(vec![ok_head(), ("status".into(), Json::Str("shutting_down".into()))]).to_string()
 }
 
-/// Error response line for any failed request.
+/// Error response line for any failed request. Overload-family errors carry
+/// their machine-readable hints (`retry_after_ms`, `waited_ms`, `limit`) as
+/// structured fields next to `kind`, so a client can back off without
+/// parsing prose.
 pub fn error_response(e: &ServeError) -> String {
-    Json::Obj(vec![
-        ("ok".to_string(), Json::Bool(false)),
-        (
-            "error".to_string(),
-            Json::Obj(vec![
-                ("kind".into(), Json::Str(e.kind().into())),
-                ("message".into(), Json::Str(e.to_string())),
-            ]),
-        ),
-    ])
-    .to_string()
+    error_response_versioned(e, None)
+}
+
+/// [`error_response`], stamped with the model version of the batcher that
+/// rejected it (errors from reader threads carry no version).
+pub fn error_response_versioned(e: &ServeError, version: Option<u64>) -> String {
+    let mut error = vec![
+        ("kind".to_string(), Json::Str(e.kind().into())),
+        ("message".to_string(), Json::Str(e.to_string())),
+    ];
+    match e {
+        ServeError::Overloaded { retry_after_ms } => {
+            error.push(("retry_after_ms".into(), Json::Num(*retry_after_ms as f64)));
+        }
+        ServeError::DeadlineExceeded { waited_ms, deadline_ms } => {
+            error.push(("waited_ms".into(), Json::Num(*waited_ms as f64)));
+            error.push(("deadline_ms".into(), Json::Num(*deadline_ms as f64)));
+        }
+        ServeError::RequestTooLarge { limit } | ServeError::TooManyConnections { limit } => {
+            error.push(("limit".into(), Json::Num(*limit as f64)));
+        }
+        _ => {}
+    }
+    let mut fields = vec![("ok".to_string(), Json::Bool(false))];
+    if let Some(v) = version {
+        fields.push(version_field(v));
+    }
+    fields.push(("error".to_string(), Json::Obj(error)));
+    Json::Obj(fields).to_string()
 }

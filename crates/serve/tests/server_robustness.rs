@@ -257,9 +257,9 @@ fn add_node_over_the_wire_is_immediately_queryable() {
     let probs = pred.get("probs").and_then(Json::to_f32s).expect("probs");
     assert_eq!(probs.len(), CLASSES);
     assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-3);
-    // `health` reports the boot-time snapshot; liveness itself must hold.
+    // `health` reports the live meta snapshot; liveness itself must hold.
     let health = client.call_ok(&Request::Health).expect("health after growth");
-    assert_eq!(health.get("status").and_then(Json::as_str), Some("healthy"));
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
 }
 
 /// Lasagne-Weighted carries per-node parameters: edge toggles are fine,
@@ -320,10 +320,10 @@ fn node_pinned_model_refuses_add_node_but_accepts_edges() {
     assert_healthy(&addr);
 }
 
-/// A mutation arriving after `shutdown` gets the typed io error on its
-/// still-open connection instead of hanging or crashing the teardown.
+/// A mutation arriving after `shutdown` gets the typed `draining` error on
+/// its still-open connection instead of hanging or crashing the teardown.
 #[test]
-fn mutation_during_shutdown_gets_a_typed_io_error() {
+fn mutation_during_shutdown_gets_a_typed_draining_error() {
     let (server, addr) = start_server(false);
     let mut survivor = Client::connect(&addr).expect("connect survivor");
     survivor.call_ok(&Request::Health).expect("health before shutdown");
@@ -335,7 +335,7 @@ fn mutation_during_shutdown_gets_a_typed_io_error() {
         .call(&Request::AddEdge { u: 0, v: 1 })
         .expect("open connection must still get a response line");
     assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
-    assert_eq!(error_kind(&doc), "io", "mutation during shutdown");
+    assert_eq!(error_kind(&doc), "draining", "mutation during shutdown");
     server.wait();
 }
 

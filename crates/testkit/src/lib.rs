@@ -25,12 +25,16 @@
 //! * [`fault`] — deterministic fault injection for robustness tests: a
 //!   [`FaultPlan`] schedules NaN gradients and simulated crashes, and the
 //!   file helpers corrupt/truncate saved checkpoints reproducibly.
+//! * [`chaos`] — hostile-client helpers for the serve layer's overload
+//!   suite: slowloris trickle, mid-request disconnect, silent campers, and
+//!   PRNG-driven garbage / near-miss protocol line generators.
 //!
 //! The crate intentionally has **no** dependencies, not even on other
 //! workspace crates, so every crate (including `lasagne-tensor` at the
 //! bottom of the stack) can depend on it.
 
 pub mod bench;
+pub mod chaos;
 pub mod fault;
 pub mod gens;
 pub mod json;
@@ -38,6 +42,9 @@ pub mod prop;
 pub mod rng;
 
 pub use bench::{bench, bench_with, BenchResult};
+pub use chaos::{
+    drop_mid_request, garbage_line, mutate_line, silent_camper, slow_sender, SlowSendOutcome,
+};
 pub use fault::{flip_byte, truncate_file, Fault, FaultPlan};
 pub use gens::{coo_graph, dense, sym_adj, vec_of, CooGraph, Dense, OneOf, VecGen};
 pub use json::{Json, JsonError};

@@ -87,10 +87,21 @@ cargo run --release --offline -p lasagne-bench --bin serve-bench -- \
     --shutdown --addr 127.0.0.1:17878
 wait "$SERVE_PID"
 
-echo "== serve bench smoke (in-process server, 1/8/64 clients, JSON artifact) =="
+echo "== serve bench smoke (in-process server, 1/8/64 clients, saturation knee, JSON artifact) =="
 cargo run --release --offline -p lasagne-bench --bin serve-bench -- \
     --smoke --out target/BENCH_serve.smoke.json > /dev/null
 test -s target/BENCH_serve.smoke.json
+
+echo "== overload contract: bounded admission, deadlines, hot swap, protocol fuzz =="
+cargo test -q --offline -p lasagne-serve --test overload
+
+echo "== overload soak: 30s flood at 4x the knee with chaos clients, hot swap mid-flood =="
+# Pass criteria enforced by the binary (DESIGN.md §12): zero untyped
+# failures under flood + garbage + slowloris + hangups, health p99 < 5ms
+# on the fast path throughout, the mid-soak swap installs atomically, and
+# shutdown drains cleanly.
+cargo run --release --offline -p lasagne-bench --bin serve-bench -- \
+    --soak --duration-s 30
 
 echo "== streaming: bitwise property suites (delta layer + live-vs-cold engines) =="
 cargo test -q --offline -p lasagne-sparse --test delta

@@ -67,6 +67,7 @@ fn usage() -> ! {
     eprintln!("                   [--resume PATH] [--max-recoveries N] [--clip-norm X] [--threads N] [--export PATH]");
     eprintln!("                   [--trace-out PATH] [--trace-summary] [--trace-deterministic]");
     eprintln!("       lasagne-cli serve --frozen PATH [--port N] [--host ADDR] [--max-batch N] [--compact-every N]");
+    eprintln!("                  [--queue-capacity N] [--deadline-ms N] [--max-conns N] [--max-request-bytes N] [--idle-timeout-ms N]");
     eprintln!("       lasagne-cli --list");
     eprintln!("datasets: {}", DatasetId::all().map(|d| d.name()).join(", "));
     eprintln!("models:   {}", MODELS.join(", "));
@@ -98,6 +99,11 @@ struct ServeArgs {
     max_batch: usize,
     threads: Option<usize>,
     compact_every: Option<usize>,
+    queue_capacity: usize,
+    deadline_ms: u64,
+    max_conns: usize,
+    max_request_bytes: usize,
+    idle_timeout_ms: u64,
 }
 
 fn parse_serve_args(argv: &[String]) -> ServeArgs {
@@ -107,6 +113,12 @@ fn parse_serve_args(argv: &[String]) -> ServeArgs {
     let mut max_batch: usize = 64;
     let mut threads: Option<usize> = None;
     let mut compact_every: Option<usize> = None;
+    let defaults = lasagne_serve::ServerConfig::default();
+    let mut queue_capacity = defaults.queue_capacity;
+    let mut deadline_ms = defaults.deadline_ms;
+    let mut max_conns = defaults.max_connections;
+    let mut max_request_bytes = defaults.max_request_bytes;
+    let mut idle_timeout_ms = defaults.idle_timeout_ms;
     let mut i = 0;
     while i < argv.len() {
         let flag = argv[i].as_str();
@@ -132,6 +144,34 @@ fn parse_serve_args(argv: &[String]) -> ServeArgs {
                     value.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| bad_value(flag, value)),
                 )
             }
+            "--queue-capacity" => {
+                queue_capacity = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| bad_value(flag, value))
+            }
+            // 0 disables the deadline / idle reaper.
+            "--deadline-ms" => {
+                deadline_ms = value.parse().unwrap_or_else(|_| bad_value(flag, value))
+            }
+            "--max-conns" => {
+                max_conns = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| bad_value(flag, value))
+            }
+            "--max-request-bytes" => {
+                max_request_bytes = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 64)
+                    .unwrap_or_else(|| bad_value(flag, value))
+            }
+            "--idle-timeout-ms" => {
+                idle_timeout_ms = value.parse().unwrap_or_else(|_| bad_value(flag, value))
+            }
             other => unknown_flag(other),
         }
         i += 2;
@@ -140,7 +180,19 @@ fn parse_serve_args(argv: &[String]) -> ServeArgs {
         eprintln!("serve: missing required --frozen PATH");
         usage()
     };
-    ServeArgs { frozen, host, port, max_batch, threads, compact_every }
+    ServeArgs {
+        frozen,
+        host,
+        port,
+        max_batch,
+        threads,
+        compact_every,
+        queue_capacity,
+        deadline_ms,
+        max_conns,
+        max_request_bytes,
+        idle_timeout_ms,
+    }
 }
 
 /// Run the `serve` subcommand: load + cache the frozen model, bind, and
@@ -175,6 +227,12 @@ fn run_serve(args: ServeArgs) -> ! {
         addr: format!("{}:{}", args.host, args.port),
         max_batch: args.max_batch,
         debug_ops: false,
+        queue_capacity: args.queue_capacity,
+        deadline_ms: args.deadline_ms,
+        max_connections: args.max_conns,
+        max_request_bytes: args.max_request_bytes,
+        idle_timeout_ms: args.idle_timeout_ms,
+        ..lasagne_serve::ServerConfig::default()
     };
     let server = Server::start(engine, config).unwrap_or_else(|e| {
         eprintln!("error: cannot start server: {e}");
