@@ -15,7 +15,7 @@ use lasagne_tensor::TensorRng;
 use lasagne_autograd::{ProgramOp, Tape};
 
 use crate::error::ServeResult;
-use crate::frozen::{FrozenGraph, FrozenMeta, FrozenModel, SparseKind};
+use crate::frozen::{FrozenGraph, FrozenMeta, FrozenModel, FrozenWeight, SparseKind};
 
 /// Export `model`'s eval forward on `ctx` as a frozen inference artifact.
 /// `dataset` is recorded as provenance (e.g. `"cora"`).
@@ -34,7 +34,7 @@ pub fn freeze(
     let program = tape.export_program(store, out.logits)?;
     let weights = store
         .iter()
-        .map(|(id, t)| (store.name(id).to_string(), t.clone()))
+        .map(|(id, t)| (store.name(id).to_string(), FrozenWeight::Exact(t.clone())))
         .collect();
     // Graph binding for streaming (DESIGN.md §11): the exported sparse
     // table holds `Rc::clone`s of the context's operators, so pointer

@@ -25,6 +25,7 @@ use lasagne_train::{
 };
 
 use crate::error::{ServeError, ServeResult};
+use crate::quant::{QuantMatrix, QuantMode};
 
 /// Provenance and shape facts about a frozen model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,13 +98,45 @@ pub struct FrozenGraph {
     pub features_ops: Vec<usize>,
 }
 
+/// How one named weight is stored in the frozen file: exact f32 (the
+/// default — bitwise-faithful to training) or quantized (opt-in, produced
+/// by [`FrozenModel::quantize`]; approximate, with the documented per-mode
+/// error bounds of [`crate::quant`]).
+#[derive(Debug, Clone)]
+pub enum FrozenWeight {
+    /// Full-precision tensor, byte-identical to the training checkpoint.
+    Exact(Tensor),
+    /// Compressed i8/f16 matrix, dequantized on the fly at serve time.
+    Quant(QuantMatrix),
+}
+
+impl FrozenWeight {
+    /// Materialize as an f32 tensor (clone for exact, dequantize for
+    /// quantized).
+    pub fn to_tensor(&self) -> Tensor {
+        match self {
+            FrozenWeight::Exact(t) => t.clone(),
+            FrozenWeight::Quant(q) => q.dequantize(),
+        }
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            FrozenWeight::Exact(t) => t.shape(),
+            FrozenWeight::Quant(q) => q.shape(),
+        }
+    }
+}
+
 /// A self-contained inference artifact: metadata, weights, and the exported
 /// eval-forward program.
+#[derive(Clone)]
 pub struct FrozenModel {
     /// Provenance/shape metadata.
     pub meta: FrozenMeta,
-    /// Named weight tensors, in [`lasagne_autograd::ParamStore`] order.
-    pub weights: Vec<(String, Tensor)>,
+    /// Named weights, in [`lasagne_autograd::ParamStore`] order.
+    pub weights: Vec<(String, FrozenWeight)>,
     /// The tape-free forward program (references weights by name and sparse
     /// operators by table index).
     pub program: Program,
@@ -465,7 +498,25 @@ impl FrozenModel {
             ),
             (
                 "weights".into(),
-                Json::Arr(self.weights.iter().map(|(n, t)| named_param_to_json(n, t)).collect()),
+                Json::Arr(
+                    self.weights
+                        .iter()
+                        .map(|(n, w)| match w {
+                            // Exact weights keep the checkpoint entry layout
+                            // byte for byte, so pre-quantization files and
+                            // f32 exports are unchanged on disk.
+                            FrozenWeight::Exact(t) => named_param_to_json(n, t),
+                            FrozenWeight::Quant(q) => {
+                                let mut fields =
+                                    vec![("name".into(), Json::Str(n.clone()))];
+                                if let Json::Obj(qf) = q.to_json() {
+                                    fields.extend(qf);
+                                }
+                                Json::Obj(fields)
+                            }
+                        })
+                        .collect(),
+                ),
             ),
             (
                 "sparse".into(),
@@ -503,7 +554,15 @@ impl FrozenModel {
             .as_arr()
             .ok_or_else(|| ServeError::Parse("weights not an array".into()))?
             .iter()
-            .map(|p| named_param_from_json(p).map_err(ServeError::from))
+            .map(|p| -> ServeResult<(String, FrozenWeight)> {
+                if p.get("quant").is_some() {
+                    let name = str_field(p, "name", "quant weight")?.to_string();
+                    Ok((name, FrozenWeight::Quant(QuantMatrix::from_json(p)?)))
+                } else {
+                    let (name, t) = named_param_from_json(p).map_err(ServeError::from)?;
+                    Ok((name, FrozenWeight::Exact(t)))
+                }
+            })
             .collect::<ServeResult<Vec<_>>>()?;
         let sparse = field(body, "sparse", "frozen model")?
             .as_arr()
@@ -545,5 +604,48 @@ impl FrozenModel {
     pub fn load(path: &Path) -> ServeResult<FrozenModel> {
         lasagne_obs::span!("serve.freeze.load");
         FrozenModel::from_json(&read_envelope(path).map_err(ServeError::from)?)
+    }
+
+    /// Does any weight carry a quantized encoding?
+    pub fn is_quantized(&self) -> bool {
+        self.weights.iter().any(|(_, w)| matches!(w, FrozenWeight::Quant(_)))
+    }
+
+    /// Produce the quantized variant of this model: every weight the
+    /// program consumes **only** as a matmul right operand (and that is big
+    /// enough to be worth compressing) is re-encoded per `mode`; biases,
+    /// attention scores, and anything else the program touches elsewhere
+    /// stay exact, so the only approximation sites are products the engine
+    /// runs through its dequantizing panel kernel.
+    ///
+    /// The graph binding is dropped: streaming mutations re-derive cache
+    /// rows against the weights, and re-deriving against dequantized
+    /// weights would silently change the §11 exactness story. Quantized
+    /// models answer mutations with the same typed error as pre-streaming
+    /// files; streaming deployments should serve the exact f32 artifact.
+    pub fn quantize(mut self, mode: QuantMode) -> ServeResult<FrozenModel> {
+        let eligible: Vec<String> =
+            self.program.matmul_only_params().iter().map(|s| s.to_string()).collect();
+        let mut hits = 0usize;
+        for (name, w) in &mut self.weights {
+            if !eligible.iter().any(|e| e == name) {
+                continue;
+            }
+            if let FrozenWeight::Exact(t) = w {
+                let (r, c) = t.shape();
+                if r * c < 64 {
+                    continue; // not worth the scales overhead
+                }
+                *w = FrozenWeight::Quant(QuantMatrix::quantize(t, mode));
+                hits += 1;
+            }
+        }
+        if hits == 0 {
+            return Err(ServeError::Export(
+                "quantize: no matmul-only weights to compress in this program".into(),
+            ));
+        }
+        self.graph = None;
+        Ok(self)
     }
 }

@@ -49,6 +49,7 @@ mod error;
 mod export;
 mod frozen;
 mod protocol;
+mod quant;
 mod server;
 mod streaming;
 
@@ -56,11 +57,12 @@ pub use client::Client;
 pub use engine::{evaluate_program, Engine, Prediction};
 pub use error::{ServeError, ServeResult};
 pub use export::freeze;
-pub use frozen::{FrozenGraph, FrozenMeta, FrozenModel, SparseKind};
+pub use frozen::{FrozenGraph, FrozenMeta, FrozenModel, FrozenWeight, SparseKind};
 pub use protocol::{
     debug_sleep_response, error_response, error_response_versioned, health_response,
     mutation_response, predict_response, shutdown_response, stats_response, swap_response,
     top_k_response, Request, StatsSnapshot,
 };
+pub use quant::{QuantMatrix, QuantMode};
 pub use server::{Server, ServerConfig};
 pub use streaming::{Mutation, MutationReport, DEFAULT_COMPACT_EVERY};

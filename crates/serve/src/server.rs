@@ -193,6 +193,9 @@ struct Shared {
     /// Nanoseconds since `start` of the most recent shed; `u64::MAX` =
     /// never shed.
     last_shed_ns: AtomicU64,
+    /// Mirror of the installed engine's quantized flag (the engine itself
+    /// lives in the batcher thread); updated at swap install.
+    quantized: AtomicBool,
     start: Instant,
     debug_ops: bool,
 }
@@ -266,6 +269,7 @@ impl Shared {
             swaps: self.swaps.load(Ordering::Relaxed),
             model_version: self.model_version.load(Ordering::SeqCst),
             connections: self.connections.load(Ordering::Relaxed) as u64,
+            quantized: self.quantized.load(Ordering::Relaxed),
         }
     }
 }
@@ -308,6 +312,7 @@ impl Server {
             expired: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
             last_shed_ns: AtomicU64::new(u64::MAX),
+            quantized: AtomicBool::new(engine.is_quantized()),
             start: Instant::now(),
             debug_ops,
         });
@@ -659,6 +664,7 @@ fn batcher_loop(mut engine: Engine, shared: Arc<Shared>, max_batch: usize) {
                 version = pending.version;
                 shared.model_version.store(version, Ordering::SeqCst);
                 *shared.lock_meta() = engine.meta().clone();
+                shared.quantized.store(engine.is_quantized(), Ordering::Relaxed);
                 shared.swaps.fetch_add(1, Ordering::Relaxed);
                 lasagne_obs::counter_add("serve.swaps", 1);
             }

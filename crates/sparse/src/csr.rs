@@ -12,6 +12,47 @@ use std::sync::OnceLock;
 
 use lasagne_tensor::Tensor;
 
+/// Column-block width of the blocked SpMM: each output row is produced
+/// `CB` columns at a time into a stack accumulator, so the dense operand
+/// streams through cache once per block (256-byte segments) instead of
+/// once per nonzero (whole rows, which thrash L1 at wide hidden dims).
+/// The hot path has a compile-time trip count for the autovectorizer.
+const CB: usize = 64;
+
+/// One output-row × one column-block of SpMM, full-width fast path:
+/// `acc[0..CB] += v · x[j, c0..c0+CB]` over the row's nonzeros in stored
+/// order — the same per-element accumulation sequence as the seed kernel,
+/// so bits are unchanged.
+#[inline(always)]
+fn spmm_row_block(acc: &mut [f32; CB], idx: &[u32], vals: &[f32], x: &[f32], d: usize, c0: usize) {
+    for (&j, &v) in idx.iter().zip(vals) {
+        let seg = &x[j as usize * d + c0..j as usize * d + c0 + CB];
+        for cc in 0..CB {
+            acc[cc] += v * seg[cc];
+        }
+    }
+}
+
+/// Edge-block variant (`cw < CB`): identical accumulation with a runtime
+/// bound.
+#[inline(always)]
+fn spmm_row_block_edge(
+    acc: &mut [f32],
+    idx: &[u32],
+    vals: &[f32],
+    x: &[f32],
+    d: usize,
+    c0: usize,
+) {
+    let cw = acc.len();
+    for (&j, &v) in idx.iter().zip(vals) {
+        let seg = &x[j as usize * d + c0..j as usize * d + c0 + cw];
+        for (a, &xv) in acc.iter_mut().zip(seg) {
+            *a += v * xv;
+        }
+    }
+}
+
 /// Compressed-sparse-row matrix.
 ///
 /// Invariants (maintained by all constructors):
@@ -265,12 +306,16 @@ impl Csr {
         })
     }
 
-    /// Sparse × dense: `self · dense`. The inner loop streams a contiguous
-    /// dense row, so it auto-vectorizes; this is the hot kernel of every
-    /// model in the stack. Output rows are fanned out in nnz-balanced
-    /// chunks — every chunk writes only its own rows, and each row's
-    /// neighbors accumulate in stored (ascending-column) order, so the
-    /// result is bitwise thread-count-invariant.
+    /// Sparse × dense: `self · dense` — the hot kernel of every model in
+    /// the stack. Column-blocked: each output row is built `CB` columns at
+    /// a time in a stack accumulator, with the row's index/value segments
+    /// fetched once and reused across blocks, so the dense operand moves
+    /// through cache in small contiguous segments instead of whole rows
+    /// per nonzero. Output rows are fanned out in nnz-balanced chunks —
+    /// every chunk writes only its own rows, and each output element still
+    /// accumulates its neighbors in stored (ascending-column) order, so
+    /// the result is bitwise identical to the seed loop
+    /// ([`Csr::spmm_reference`]) at any thread count.
     pub fn spmm(&self, dense: &Tensor) -> Tensor {
         assert_eq!(
             self.cols,
@@ -288,6 +333,7 @@ impl Csr {
         }
         lasagne_obs::span!("spmm");
         lasagne_obs::counter_add("spmm.nnz", self.values.len() as u64);
+        let x = dense.as_slice();
         let (indptr, indices, values) = (&self.indptr, &self.indices, &self.values);
         lasagne_par::par_csr_row_chunks_mut(
             out.as_mut_slice(),
@@ -297,16 +343,64 @@ impl Csr {
             |i0, chunk| {
                 for (r, o_row) in chunk.chunks_mut(d).enumerate() {
                     let i = i0 + r;
-                    for e in indptr[i]..indptr[i + 1] {
-                        let j = indices[e] as usize;
-                        let v = values[e];
-                        for (o, &x) in o_row.iter_mut().zip(dense.row(j)) {
-                            *o += v * x;
+                    let (lo, hi) = (indptr[i], indptr[i + 1]);
+                    let idx = &indices[lo..hi];
+                    let vals = &values[lo..hi];
+                    if d <= CB {
+                        // Narrow operand: the whole output row is one block,
+                        // so skip the block loop and the accumulate-then-copy
+                        // round trip — axpy straight into the (zeroed) output
+                        // row. Per-element accumulation order over the row's
+                        // nonzeros is unchanged, so bits are unchanged.
+                        for (&j, &v) in idx.iter().zip(vals) {
+                            let x_row = &x[j as usize * d..j as usize * d + d];
+                            for (o, &xv) in o_row.iter_mut().zip(x_row) {
+                                *o += v * xv;
+                            }
                         }
+                        continue;
+                    }
+                    let mut c0 = 0;
+                    while c0 < d {
+                        let cw = (d - c0).min(CB);
+                        if cw == CB {
+                            let mut acc = [0.0f32; CB];
+                            spmm_row_block(&mut acc, idx, vals, x, d, c0);
+                            o_row[c0..c0 + CB].copy_from_slice(&acc);
+                        } else {
+                            let mut acc = [0.0f32; CB];
+                            spmm_row_block_edge(&mut acc[..cw], idx, vals, x, d, c0);
+                            o_row[c0..c0 + cw].copy_from_slice(&acc[..cw]);
+                        }
+                        c0 += CB;
                     }
                 }
             },
         );
+        out
+    }
+
+    /// Pinned copy of the seed (pre-blocking) SpMM loop, serial: whole-row
+    /// axpy per nonzero. Exists so the bitwise-equivalence suite and the
+    /// kernels bench can compare the blocked kernel against the exact code
+    /// it replaced. Not part of the public API contract.
+    #[doc(hidden)]
+    pub fn spmm_reference(&self, dense: &Tensor) -> Tensor {
+        assert_eq!(self.cols, dense.rows(), "spmm_reference: shape mismatch");
+        let d = dense.cols();
+        let mut out = Tensor::zeros(self.rows, d);
+        if d == 0 || self.rows == 0 {
+            return out;
+        }
+        for (i, o_row) in out.as_mut_slice().chunks_mut(d).enumerate() {
+            for e in self.indptr[i]..self.indptr[i + 1] {
+                let j = self.indices[e] as usize;
+                let v = self.values[e];
+                for (o, &x) in o_row.iter_mut().zip(dense.row(j)) {
+                    *o += v * x;
+                }
+            }
+        }
         out
     }
 

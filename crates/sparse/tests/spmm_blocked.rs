@@ -1,0 +1,47 @@
+//! Kernel-equivalence suite for the column-blocked SpMM: bitwise equal
+//! (`to_bits`) to the pinned seed reference (`spmm_reference`, the exact
+//! pre-blocking whole-row-axpy loop) on random graphs and dense operands,
+//! at several thread counts. Widths straddle the CB=64 column-block
+//! boundary in both directions (narrow, exact multiple, ragged edge).
+//!
+//! One `#[test]`, because the pool's thread count is process-global.
+
+use lasagne_sparse::Csr;
+use lasagne_tensor::Tensor;
+use lasagne_testkit::gens::coo_graph;
+use lasagne_testkit::prop::{check, Config};
+
+const SWEEP: [usize; 3] = [1, 4, 3];
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn blocked_spmm_bitwise_equal_seed_reference() {
+    let cfg = Config::cases(8);
+    check(
+        "spmm_blocked_vs_seed",
+        &cfg,
+        // Width range 1..150 covers d < CB, d == CB-ish multiples, and a
+        // ragged final block; density 0.15 leaves empty rows in play.
+        &(coo_graph(2..60, 0.15, -2.0, 2.0), 1usize..150),
+        |(g, d)| {
+            let m = Csr::from_coo(g.n, g.n, &g.entries);
+            let x = Tensor::from_fn(g.n, *d, |i, j| ((i * 37 + j * 13) % 23) as f32 * 0.17 - 1.9);
+            lasagne_par::set_threads(1);
+            let want = bits(&m.spmm_reference(&x));
+            let want_t = bits(&m.transpose().spmm_reference(&x));
+            for &t in &SWEEP {
+                lasagne_par::set_threads(t);
+                if bits(&m.spmm(&x)) != want {
+                    return Err(format!("spmm != seed at {t} threads (n={}, d={d})", g.n));
+                }
+                if bits(&m.spmm_t(&x)) != want_t {
+                    return Err(format!("spmm_t != seed at {t} threads (n={}, d={d})", g.n));
+                }
+            }
+            Ok(())
+        },
+    );
+}

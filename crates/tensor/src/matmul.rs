@@ -6,26 +6,214 @@
 //! * `matmul_tn` — `C = Aᵀ · B` (weight gradients)
 //! * `matmul_nt` — `C = A · Bᵀ` (input gradients)
 //!
-//! All use orderings whose inner loop runs over contiguous slices so LLVM
-//! vectorizes them, and all three partition their *output rows* into fixed
-//! chunks executed on the `lasagne-par` pool — each chunk writes a disjoint
-//! row range and accumulates in the serial order, so results are bitwise
-//! identical at any thread count (DESIGN.md §8).
+//! All three are register-blocked: the hot path is a fixed `MR×NR`
+//! micro-kernel whose accumulator lives in a `[[f32; NR]; MR]` array and
+//! whose inner loops run over contiguous slices with compile-time trip
+//! counts, which is the shape LLVM's autovectorizer reliably lifts to SIMD
+//! even at the portable x86-64 baseline. Edge tiles reuse the same
+//! micro-kernel with runtime bounds (rare, cold). `matmul_packed_b` adds a
+//! k-panel loop over a caller-packed right operand — the quantized serve
+//! path dequantizes weight panels into it on the fly.
+//!
+//! Bitwise contract (DESIGN.md §8): every output element accumulates its
+//! `k` products in ascending-`k` order starting from `+0.0`, exactly like
+//! the seed loop nests, so tiling changes arithmetic *scheduling* but never
+//! the per-element operation sequence — results are `to_bits`-identical to
+//! the pinned seed references below at any thread count. (Panel splits
+//! store/reload the f32 accumulator through `C`, which is exact.) The pool
+//! still partitions *output rows* into chunks whose size is a function of
+//! shape only, rounded to a tile multiple.
 //!
 //! `matmul` and `matmul_tn` skip zero multipliers, which is a large win on
 //! the sparse one-hot-ish feature matrices GNN inputs tend to be — but the
 //! branch costs real time on dense hidden-layer activations where it never
 //! fires, so both kernels gate it on a cheap strided density probe of the
-//! left operand.
+//! left operand. The skip test happens per element on the same `a == 0.0`
+//! comparison as the seed, so the skip path is order-preserving too.
 
 use crate::{par_row_chunk, Tensor};
 
-/// `o += a * b` over a contiguous row — the vectorized inner loop of all
-/// three kernels.
+/// Micro-tile height (output rows per register block).
+const MR: usize = 4;
+/// Micro-tile width (output columns per register block) — two 4-lane SSE
+/// vectors, eight accumulator registers per tile.
+const NR: usize = 8;
+/// k-panel length for [`Tensor::matmul_packed_b`]: the packed right operand
+/// is materialized at most `KC` rows at a time (`KC × m` floats of scratch).
+const KC: usize = 256;
+/// Input-row panel for `matmul_tn`: bounds the working set of the `A` tile
+/// panel (`PC × MR` floats) and `B` strip panel (`PC × NR`) to L1-ish size.
+const PC: usize = 256;
+
+/// Round a row-chunk size up to a whole number of `MR` tiles so micro-tiles
+/// never straddle a pool chunk boundary. (Chunk size is a function of shape
+/// only — bitwise-safe to change, per the determinism contract.)
+fn round_up_tile(rows: usize) -> usize {
+    rows.div_ceil(MR) * MR
+}
+
+/// `o += a * b` over a contiguous row — the inner loop of the pinned seed
+/// reference kernels and of `matmul_rows`.
 #[inline]
 fn axpy(o: &mut [f32], a: f32, b: &[f32]) {
     for (o, &b) in o.iter_mut().zip(b) {
         *o += a * b;
+    }
+}
+
+/// The `MR×NR` micro-kernel for `matmul`-layout products: `C[i.., j..] +=
+/// A[i.., :klen] · B[:klen, j..]` where `A` rows are strided (`a_stride`)
+/// and `B` rows are contiguous at `b_stride`. `mr`/`nr` are runtime bounds
+/// for edge tiles; the hot call site passes the `MR`/`NR` constants so the
+/// inlined copy fully unrolls. Accumulates ascending `kk` per element.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn tile_mm<const SKIP: bool>(
+    c: &mut [f32],
+    cs: usize,
+    i: usize,
+    j: usize,
+    mr: usize,
+    nr: usize,
+    a: &[f32],
+    a_stride: usize,
+    b: &[f32],
+    b_stride: usize,
+    klen: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for r in 0..mr {
+        let crow = &c[(i + r) * cs + j..];
+        for cc in 0..nr {
+            acc[r][cc] = crow[cc];
+        }
+    }
+    for kk in 0..klen {
+        let bv = &b[kk * b_stride + j..kk * b_stride + j + nr];
+        for r in 0..mr {
+            let av = a[(i + r) * a_stride + kk];
+            if SKIP && av == 0.0 {
+                continue;
+            }
+            let accr = &mut acc[r];
+            for cc in 0..nr {
+                accr[cc] += av * bv[cc];
+            }
+        }
+    }
+    for r in 0..mr {
+        let crow = &mut c[(i + r) * cs + j..];
+        for cc in 0..nr {
+            crow[cc] = acc[r][cc];
+        }
+    }
+}
+
+/// The `MR×NR` micro-kernel for `matmul_tn`: the tile covers `MR` columns
+/// of `A` (= output rows `ti..`) × `NR` columns of `B`, and reduces over
+/// `nrows` input rows ascending — both loads contiguous (`A` segment of
+/// `mr`, `B` segment of `nr` per row), the outer-product update in
+/// registers. `ci` is the absolute `A`-column of the tile's first row.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn tile_tn<const SKIP: bool>(
+    c: &mut [f32],
+    cs: usize,
+    ti: usize,
+    j: usize,
+    mr: usize,
+    nr: usize,
+    a: &[f32],
+    a_stride: usize,
+    ci: usize,
+    b: &[f32],
+    b_stride: usize,
+    nrows: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for r in 0..mr {
+        let crow = &c[(ti + r) * cs + j..];
+        for cc in 0..nr {
+            acc[r][cc] = crow[cc];
+        }
+    }
+    for row in 0..nrows {
+        let av = &a[row * a_stride + ci..row * a_stride + ci + mr];
+        let bv = &b[row * b_stride + j..row * b_stride + j + nr];
+        for r in 0..mr {
+            let ar = av[r];
+            if SKIP && ar == 0.0 {
+                continue;
+            }
+            let accr = &mut acc[r];
+            for cc in 0..nr {
+                accr[cc] += ar * bv[cc];
+            }
+        }
+    }
+    for r in 0..mr {
+        let crow = &mut c[(ti + r) * cs + j..];
+        for cc in 0..nr {
+            crow[cc] = acc[r][cc];
+        }
+    }
+}
+
+/// Blocked `C[0..rows, :] += A[0..rows, :klen] · B[:klen, :]` over one pool
+/// chunk. `j`-strips outer so the `klen × NR` B strip stays cache-hot
+/// across the row tiles underneath it.
+fn gemm_panel<const SKIP: bool>(
+    c: &mut [f32],
+    m: usize,
+    a: &[f32],
+    a_stride: usize,
+    b: &[f32],
+    b_stride: usize,
+    rows: usize,
+    klen: usize,
+) {
+    let mut j = 0;
+    while j < m {
+        let nr = (m - j).min(NR);
+        let mut i = 0;
+        while i < rows {
+            let mr = (rows - i).min(MR);
+            if mr == MR && nr == NR {
+                tile_mm::<SKIP>(c, m, i, j, MR, NR, a, a_stride, b, b_stride, klen);
+            } else {
+                tile_mm::<SKIP>(c, m, i, j, mr, nr, a, a_stride, b, b_stride, klen);
+            }
+            i += MR;
+        }
+        j += NR;
+    }
+}
+
+/// Blocked `matmul_tn` body over one pool chunk and one input-row panel.
+fn tn_panel<const SKIP: bool>(
+    c: &mut [f32],
+    m: usize,
+    cw: usize,
+    a: &[f32],
+    a_stride: usize,
+    col0: usize,
+    b: &[f32],
+    nrows: usize,
+) {
+    let mut j = 0;
+    while j < m {
+        let nr = (m - j).min(NR);
+        let mut i = 0;
+        while i < cw {
+            let mr = (cw - i).min(MR);
+            if mr == MR && nr == NR {
+                tile_tn::<SKIP>(c, m, i, j, MR, NR, a, a_stride, col0 + i, b, m, nrows);
+            } else {
+                tile_tn::<SKIP>(c, m, i, j, mr, nr, a, a_stride, col0 + i, b, m, nrows);
+            }
+            i += MR;
+        }
+        j += NR;
     }
 }
 
@@ -34,17 +222,21 @@ impl Tensor {
     /// hold enough exact zeros (≥ ¼ of the sample) that the zero-skip
     /// branch in the matmul inner loops pays for itself? One-hot-ish
     /// feature matrices say yes; dense activations say no.
+    ///
+    /// The stride rounds **up** (`len.div_ceil(64)`), so the probe spans
+    /// the whole buffer: a floor-rounded stride would sample only the head
+    /// for `len` slightly above 64 and misclassify tail-sparse matrices.
     fn looks_sparse(&self) -> bool {
         const SAMPLES: usize = 64;
         let len = self.data.len();
         if len == 0 {
             return false;
         }
-        let step = (len / SAMPLES).max(1);
+        let step = len.div_ceil(SAMPLES).max(1);
         let mut zeros = 0usize;
         let mut total = 0usize;
         let mut i = 0;
-        while i < len && total < SAMPLES {
+        while i < len {
             if self.data[i] == 0.0 {
                 zeros += 1;
             }
@@ -70,24 +262,65 @@ impl Tensor {
         lasagne_obs::counter_add("matmul.flops", 2 * (n * k * m) as u64);
         let skip = self.looks_sparse();
         let (a, b) = (&self.data, &other.data);
-        lasagne_par::par_row_chunks_mut(&mut out.data, m, par_row_chunk(k * m), |i0, chunk| {
-            for (r, o_row) in chunk.chunks_mut(m).enumerate() {
-                let i = i0 + r;
-                let a_row = &a[i * k..(i + 1) * k];
-                if skip {
-                    for (kk, &aik) in a_row.iter().enumerate() {
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        axpy(o_row, aik, &b[kk * m..(kk + 1) * m]);
-                    }
-                } else {
-                    for (kk, &aik) in a_row.iter().enumerate() {
-                        axpy(o_row, aik, &b[kk * m..(kk + 1) * m]);
-                    }
-                }
+        // ≥ 32 rows per chunk so each k×NR B strip loaded into cache serves
+        // at least 8 row tiles before the next chunk re-streams it.
+        let chunk = round_up_tile(par_row_chunk(k * m).max(32));
+        lasagne_par::par_row_chunks_mut(&mut out.data, m, chunk, |i0, c| {
+            let rows = c.len() / m;
+            if skip {
+                gemm_panel::<true>(c, m, &a[i0 * k..], k, b, m, rows, k);
+            } else {
+                gemm_panel::<false>(c, m, &a[i0 * k..], k, b, m, rows, k);
             }
         });
+        out
+    }
+
+    /// `self · B` where the caller materializes the right operand in
+    /// k-panels: `pack(p0, p1, buf)` must fill `buf` (`(p1-p0) × b_cols`,
+    /// row-major) with rows `p0..p1` of `B`. The quantized serve engine
+    /// dequantizes weight panels here so the int8/f16 weights never exist
+    /// as a full f32 matrix; a pack that plain-copies rows of a resident
+    /// `B` makes this bitwise-identical to `matmul` (same per-element
+    /// ascending-`k` accumulation; the f32 store/reload of `C` between
+    /// panels is exact, and the zero-skip probe is the same left-operand
+    /// probe either way).
+    pub fn matmul_packed_b<F>(&self, b_rows: usize, b_cols: usize, mut pack: F) -> Tensor
+    where
+        F: FnMut(usize, usize, &mut [f32]),
+    {
+        assert_eq!(
+            self.cols, b_rows,
+            "matmul_packed_b: {}x{} · {}x{}",
+            self.rows, self.cols, b_rows, b_cols
+        );
+        let (n, k, m) = (self.rows, b_rows, b_cols);
+        let mut out = Tensor::zeros(n, m);
+        if n == 0 || m == 0 {
+            return out;
+        }
+        lasagne_obs::span!("matmul");
+        lasagne_obs::counter_add("matmul.flops", 2 * (n * k * m) as u64);
+        let skip = self.looks_sparse();
+        let a = &self.data;
+        let chunk = round_up_tile(par_row_chunk(k * m).max(32));
+        let mut panel = vec![0.0f32; KC.min(k) * m];
+        let mut p0 = 0;
+        while p0 < k {
+            let pl = (k - p0).min(KC);
+            let buf = &mut panel[..pl * m];
+            pack(p0, p0 + pl, buf);
+            let buf = &*buf;
+            lasagne_par::par_row_chunks_mut(&mut out.data, m, chunk, |i0, c| {
+                let rows = c.len() / m;
+                if skip {
+                    gemm_panel::<true>(c, m, &a[i0 * k + p0..], k, buf, m, rows, pl);
+                } else {
+                    gemm_panel::<false>(c, m, &a[i0 * k + p0..], k, buf, m, rows, pl);
+                }
+            });
+            p0 += KC;
+        }
         out
     }
 
@@ -97,7 +330,9 @@ impl Tensor {
     /// therefore the accumulation order and bits) must match what a full
     /// product would do, which is the contract the streaming engine's
     /// row-sliced re-evaluation relies on (DESIGN.md §11). Serial: dirty
-    /// row sets are tiny compared to the full product.
+    /// row sets are tiny compared to the full product. (Stays on the axpy
+    /// loop — per-element ascending-`k` accumulation is what the blocked
+    /// kernel computes too, so the bits agree.)
     pub fn matmul_rows(&self, other: &Tensor, rows: &[usize]) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
@@ -134,11 +369,11 @@ impl Tensor {
     /// `selfᵀ · other` without forming the transpose.
     /// Panics if `self.rows != other.rows`.
     ///
-    /// Gathers over *output* rows (columns of `self`) in blocks so the
-    /// kernel row-partitions cleanly for the pool: each block streams
-    /// `self` row-contiguously and keeps its output block cache-hot, and
+    /// Partitions *output* rows (columns of `self`) for the pool exactly as
+    /// before, then walks each chunk in `PC`-row input panels of `MR×NR`
+    /// outer-product tiles: both per-row loads are contiguous segments, and
     /// each output element still accumulates over input rows in ascending
-    /// order — exactly the serial scatter order.
+    /// order — the serial scatter order, bit for bit.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.rows, other.rows,
@@ -156,9 +391,122 @@ impl Tensor {
         let (a, b) = (&self.data, &other.data);
         // ≤ 16 column blocks of ≥ 16 columns: bounds the extra streaming of
         // `other` (once per block) while exposing enough chunks to balance.
+        let chunk_rows = round_up_tile(k.div_ceil(16).max(16));
+        lasagne_par::par_row_chunks_mut(&mut out.data, m, chunk_rows, |i0, c| {
+            let cw = c.len() / m;
+            let mut pn = 0;
+            while pn < n {
+                let pl = (n - pn).min(PC);
+                if skip {
+                    tn_panel::<true>(c, m, cw, &a[pn * k..], k, i0, &b[pn * m..], pl);
+                } else {
+                    tn_panel::<false>(c, m, cw, &a[pn * k..], k, i0, &b[pn * m..], pl);
+                }
+                pn += PC;
+            }
+        });
+        out
+    }
+
+    /// `self · otherᵀ` without forming the transpose in the *caller*: the
+    /// kernel packs `otherᵀ` once (`k × m` floats, a vanishing cost next to
+    /// the `2nkm` flops) and runs the blocked `matmul` body over it, which
+    /// turns the seed's strided scalar dot products into the same
+    /// contiguous micro-kernel as `matmul`. Per-element accumulation stays
+    /// ascending over the shared inner dimension — bitwise what the seed
+    /// computed. Panics if `self.cols != other.cols`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.rows);
+        let mut out = Tensor::zeros(n, m);
+        if n == 0 || m == 0 {
+            return out;
+        }
+        lasagne_obs::span!("matmul_nt");
+        lasagne_obs::counter_add("matmul.flops", 2 * (n * k * m) as u64);
+        let (a, b) = (&self.data, &other.data);
+        let mut bt = vec![0.0f32; k * m];
+        for j in 0..m {
+            let b_row = &b[j * k..(j + 1) * k];
+            for (kk, &v) in b_row.iter().enumerate() {
+                bt[kk * m + j] = v;
+            }
+        }
+        let chunk = round_up_tile(par_row_chunk(k * m).max(32));
+        lasagne_par::par_row_chunks_mut(&mut out.data, m, chunk, |i0, c| {
+            let rows = c.len() / m;
+            // No zero-skip: the seed `nt` kernel never had one (gradient
+            // operands are dense), and adding it would change the probe
+            // surface, not the bits.
+            gemm_panel::<false>(c, m, &a[i0 * k..], k, &bt, m, rows, k);
+        });
+        out
+    }
+
+    /// Dot product of two equally-shaped tensors viewed as flat vectors.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "dot: shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Pinned copy of the seed (pre-blocking) `matmul` loop nest, serial.
+    /// Exists so the bitwise-equivalence suites and the kernels bench can
+    /// compare the blocked kernel against the exact code it replaced.
+    /// Not part of the public API contract.
+    #[doc(hidden)]
+    pub fn matmul_reference(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul_reference: inner dims");
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(n, m);
+        if n == 0 || m == 0 {
+            return out;
+        }
+        let skip = self.looks_sparse();
+        let (a, b) = (&self.data, &other.data);
+        for (i, o_row) in out.data.chunks_mut(m).enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            if skip {
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    axpy(o_row, aik, &b[kk * m..(kk + 1) * m]);
+                }
+            } else {
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    axpy(o_row, aik, &b[kk * m..(kk + 1) * m]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Pinned copy of the seed `matmul_tn` kernel (serial, one chunk per
+    /// 16th of the output rows like the seed partitioner). See
+    /// [`Tensor::matmul_reference`].
+    #[doc(hidden)]
+    pub fn matmul_tn_reference(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "matmul_tn_reference: inner dims");
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(k, m);
+        if n == 0 || k == 0 || m == 0 {
+            return out;
+        }
+        let skip = self.looks_sparse();
+        let (a, b) = (&self.data, &other.data);
         let chunk_rows = k.div_ceil(16).max(16);
-        lasagne_par::par_row_chunks_mut(&mut out.data, m, chunk_rows, |i0, chunk| {
-            let cw = chunk.len() / m;
+        let mut i0 = 0;
+        while i0 < k {
+            let cw = (k - i0).min(chunk_rows);
+            let chunk = &mut out.data[i0 * m..(i0 + cw) * m];
             for row in 0..n {
                 let a_seg = &a[row * k + i0..row * k + i0 + cw];
                 let b_row = &b[row * m..(row + 1) * m];
@@ -175,50 +523,34 @@ impl Tensor {
                     }
                 }
             }
-        });
+            i0 += cw;
+        }
         out
     }
 
-    /// `self · otherᵀ` without forming the transpose.
-    /// Panics if `self.cols != other.cols`.
-    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
-        assert_eq!(
-            self.cols, other.cols,
-            "matmul_nt: {}x{} · ({}x{})ᵀ",
-            self.rows, self.cols, other.rows, other.cols
-        );
+    /// Pinned copy of the seed `matmul_nt` kernel (serial scalar dots).
+    /// See [`Tensor::matmul_reference`].
+    #[doc(hidden)]
+    pub fn matmul_nt_reference(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_nt_reference: inner dims");
         let (n, k, m) = (self.rows, self.cols, other.rows);
         let mut out = Tensor::zeros(n, m);
         if n == 0 || m == 0 {
             return out;
         }
-        lasagne_obs::span!("matmul_nt");
-        lasagne_obs::counter_add("matmul.flops", 2 * (n * k * m) as u64);
         let (a, b) = (&self.data, &other.data);
-        lasagne_par::par_row_chunks_mut(&mut out.data, m, par_row_chunk(k * m), |i0, chunk| {
-            for (r, o_row) in chunk.chunks_mut(m).enumerate() {
-                let a_row = &a[(i0 + r) * k..(i0 + r + 1) * k];
-                for (j, o) in o_row.iter_mut().enumerate() {
-                    let b_row = &b[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&x, &y) in a_row.iter().zip(b_row) {
-                        acc += x * y;
-                    }
-                    *o = acc;
+        for (i, o_row) in out.data.chunks_mut(m).enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            for (j, o) in o_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
                 }
+                *o = acc;
             }
-        });
+        }
         out
-    }
-
-    /// Dot product of two equally-shaped tensors viewed as flat vectors.
-    pub fn dot(&self, other: &Tensor) -> f32 {
-        assert_eq!(self.shape(), other.shape(), "dot: shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .sum()
     }
 }
 
@@ -308,6 +640,62 @@ mod tests {
         // One-hot rows: exactly one nonzero in 16 columns.
         let onehot = Tensor::from_fn(32, 16, |i, j| if i % 16 == j { 1.0 } else { 0.0 });
         assert!(onehot.looks_sparse());
+    }
+
+    #[test]
+    fn density_probe_covers_the_tail() {
+        // len = 100: the old floor-rounded stride (100/64 = 1) sampled only
+        // elements 0..63 — a dense head hid a sparse tail entirely. The
+        // ceil-rounded stride (2) spans the buffer: 18 of 50 samples land
+        // in the 36-zero tail (36% ≥ 25% → sparse).
+        let tail_sparse = Tensor::from_fn(10, 10, |i, j| if i * 10 + j < 64 { 1.0 } else { 0.0 });
+        assert!(tail_sparse.looks_sparse());
+        // Mirror image: zeros in the head, dense tail — same 36% zero rate,
+        // same verdict, so the probe is position-blind.
+        let head_sparse = Tensor::from_fn(10, 10, |i, j| if i * 10 + j < 36 { 0.0 } else { 1.0 });
+        assert!(head_sparse.looks_sparse());
+        // A 20-zero tail stays under the ¼ threshold → dense.
+        let barely = Tensor::from_fn(10, 10, |i, j| if i * 10 + j < 80 { 1.0 } else { 0.0 });
+        assert!(!barely.looks_sparse());
+    }
+
+    #[test]
+    fn blocked_kernels_match_seed_reference_bitwise() {
+        // Odd shapes force edge tiles on both axes; the sparse variant
+        // exercises the skip path. `to_bits` equality, not approx.
+        for (n, k, m, sparse) in
+            [(7, 5, 9, false), (13, 11, 17, true), (4, 8, 8, false), (1, 1, 1, true)]
+        {
+            let a = Tensor::from_fn(n, k, |i, j| {
+                if sparse && (i + j) % 3 != 0 {
+                    0.0
+                } else {
+                    ((i * k + j) as f32).sin()
+                }
+            });
+            let b = Tensor::from_fn(k, m, |i, j| ((i * m + j) as f32).cos());
+            let bt = b.transpose();
+            let rhs = Tensor::from_fn(n, m, |i, j| ((i + 2 * j) as f32).cos() * 0.5);
+            let bits = |t: &Tensor| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.matmul(&b)), bits(&a.matmul_reference(&b)), "mm {n}x{k}x{m}");
+            assert_eq!(bits(&a.matmul_nt(&bt)), bits(&a.matmul_nt_reference(&bt)), "nt");
+            assert_eq!(bits(&a.matmul_tn(&rhs)), bits(&a.matmul_tn_reference(&rhs)), "tn");
+        }
+    }
+
+    #[test]
+    fn packed_b_copy_pack_is_bitwise_matmul() {
+        // A pack that plain-copies B rows must reproduce `matmul` exactly,
+        // including across k-panel splits (k > KC forces ≥ 2 panels).
+        let (n, k, m) = (5, super::KC + 3, 6);
+        let a = Tensor::from_fn(n, k, |i, j| ((i * k + j) as f32 * 0.37).sin());
+        let b = Tensor::from_fn(k, m, |i, j| ((i + j) as f32 * 0.11).cos());
+        let packed = a.matmul_packed_b(k, m, |p0, p1, buf| {
+            buf.copy_from_slice(&b.as_slice()[p0 * m..p1 * m]);
+        });
+        let direct = a.matmul(&b);
+        let bits = |t: &Tensor| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&packed), bits(&direct));
     }
 
     #[test]

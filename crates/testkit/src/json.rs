@@ -381,14 +381,25 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so the
-                    // bytes are valid UTF-8; copy the whole scalar).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).expect("input was a str");
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 scalar. The input is a
+                    // &str, so slicing exactly the scalar's bytes (length
+                    // from the leading byte) is valid UTF-8 — crucially,
+                    // never re-validate the whole remaining input per
+                    // character, which made long strings quadratic.
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + len])
+                        .expect("input was a str");
+                    out.push(s.chars().next().unwrap());
+                    self.pos += len;
                 }
             }
         }
