@@ -48,10 +48,12 @@ mod ops_graph;
 mod ops_nn;
 mod optim;
 mod params;
+mod peval;
 mod schedule;
 mod tape;
 
 pub use export::{ExportError, Program, ProgramOp};
+pub use peval::{eval_partitions, evaluate_program_partitioned, PevalError, RowPlan};
 pub use gradcheck::{grad_check, grad_check_owner, GradCheckReport};
 pub use ops_graph::{gat_attention, GatForward};
 pub use optim::{Adam, AdamState, Optimizer, Sgd};

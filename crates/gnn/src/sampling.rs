@@ -67,8 +67,22 @@ impl ClusterBatches {
     /// For an inductive dataset the training view is the induced training
     /// subgraph; for a transductive one it is the full graph with loss
     /// restricted to training nodes inside each cluster.
+    ///
+    /// Panics on an invalid `k`; use [`ClusterBatches::try_new`] when the
+    /// part count comes from untrusted input.
     pub fn new(ds: &Dataset, k: usize, rng: &mut TensorRng) -> ClusterBatches {
-        let parts = lasagne_graph::partition_bfs(&ds.graph, k, rng);
+        ClusterBatches::try_new(ds, k, rng)
+            .unwrap_or_else(|e| panic!("ClusterBatches: {e}"))
+    }
+
+    /// Like [`ClusterBatches::new`] but with a typed error on a bad part
+    /// count instead of a panic.
+    pub fn try_new(
+        ds: &Dataset,
+        k: usize,
+        rng: &mut TensorRng,
+    ) -> Result<ClusterBatches, lasagne_graph::GraphError> {
+        let parts = lasagne_graph::partition_bfs(&ds.graph, k, rng)?;
         let mut is_train = vec![false; ds.num_nodes()];
         for &v in &ds.split.train {
             is_train[v] = true;
@@ -91,7 +105,7 @@ impl ClusterBatches {
             batches.push(TrainBatch { ctx, train_idx });
         }
         assert!(!batches.is_empty(), "ClusterBatches: no cluster holds a training node");
-        ClusterBatches { batches }
+        Ok(ClusterBatches { batches })
     }
 
     /// Number of usable clusters.

@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 
 use lasagne_tensor::TensorRng;
 
+use crate::error::GraphError;
 use crate::Graph;
 
 /// BFS hop distances from `source`; unreachable nodes get `u32::MAX`.
@@ -153,10 +154,24 @@ pub fn clustering_coefficient(g: &Graph) -> f64 {
 /// Partition nodes into `k` balanced parts by seeded BFS growth — the
 /// lightweight METIS stand-in behind the ClusterGCN baseline. Every node is
 /// assigned to exactly one part; parts are grown breadth-first from random
-/// seeds so they are locally coherent.
-pub fn partition_bfs(g: &Graph, k: usize, rng: &mut TensorRng) -> Vec<Vec<usize>> {
+/// seeds so they are locally coherent. Every part holds at most
+/// `ceil(n / k)` nodes; parts may be empty when the BFS fronts exhaust the
+/// graph early (e.g. `n` barely above `k`).
+///
+/// The algorithm is serial and consumes exactly one `rng.shuffle`, so the
+/// result depends only on `(g, k, rng state)` — never on `LASAGNE_THREADS`.
+///
+/// Errors with [`GraphError::InvalidPartitionCount`] unless
+/// `1 <= k <= max(n, 1)`.
+pub fn partition_bfs(
+    g: &Graph,
+    k: usize,
+    rng: &mut TensorRng,
+) -> Result<Vec<Vec<usize>>, GraphError> {
     let n = g.num_nodes();
-    assert!(k >= 1 && k <= n.max(1), "partition_bfs: k={k} for n={n}");
+    if k < 1 || k > n.max(1) {
+        return Err(GraphError::InvalidPartitionCount { k, n });
+    }
     let cap = n.div_ceil(k);
     let mut part_of = vec![usize::MAX; n];
     let mut parts: Vec<Vec<usize>> = vec![Vec::with_capacity(cap); k];
@@ -202,7 +217,7 @@ pub fn partition_bfs(g: &Graph, k: usize, rng: &mut TensorRng) -> Vec<Vec<usize>
             parts[lightest].push(v);
         }
     }
-    parts
+    Ok(parts)
 }
 
 /// Uniformly sample up to `k` neighbors of `v` without replacement (the
@@ -305,7 +320,7 @@ mod tests {
         let mut rng = TensorRng::seed_from_u64(2);
         let edges: Vec<(u32, u32)> = (0..99u32).map(|i| (i, i + 1)).collect();
         let g = Graph::from_edges(100, &edges);
-        let parts = partition_bfs(&g, 4, &mut rng);
+        let parts = partition_bfs(&g, 4, &mut rng).unwrap();
         let mut seen = vec![false; 100];
         for part in &parts {
             for &v in part {
@@ -323,9 +338,28 @@ mod tests {
     #[test]
     fn partition_single_part_is_everything() {
         let mut rng = TensorRng::seed_from_u64(3);
-        let parts = partition_bfs(&path5(), 1, &mut rng);
+        let parts = partition_bfs(&path5(), 1, &mut rng).unwrap();
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].len(), 5);
+    }
+
+    #[test]
+    fn partition_bad_k_is_typed_not_a_panic() {
+        // Regression for the old `assert!(k >= 1 && k <= n.max(1))`.
+        let mut rng = TensorRng::seed_from_u64(5);
+        let g = path5();
+        assert_eq!(
+            partition_bfs(&g, 0, &mut rng),
+            Err(GraphError::InvalidPartitionCount { k: 0, n: 5 })
+        );
+        assert_eq!(
+            partition_bfs(&g, 6, &mut rng),
+            Err(GraphError::InvalidPartitionCount { k: 6, n: 5 })
+        );
+        // Empty graph: only k=1 is valid and yields one empty part.
+        let empty = Graph::from_edges(0, &[]);
+        assert_eq!(partition_bfs(&empty, 1, &mut rng), Ok(vec![Vec::new()]));
+        assert!(partition_bfs(&empty, 2, &mut rng).is_err());
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! Typed errors for graph-level operations.
+//!
+//! The repo rule is typed-errors-over-panics for every failure a caller can
+//! plausibly hit with bad runtime input; asserts stay reserved for internal
+//! invariants. `partition_bfs` used to assert on a bad part count — callers
+//! that take `k` from a CLI flag or a config file get a `Result` instead.
+
+use std::fmt;
+
+/// Errors from graph algorithms with caller-supplied parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Requested part count is outside `1..=max(n, 1)`.
+    InvalidPartitionCount { k: usize, n: usize },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidPartitionCount { k, n } => {
+                write!(f, "invalid partition count k={k} for a graph of {n} nodes (want 1..={})", (*n).max(1))
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

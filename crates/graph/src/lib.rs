@@ -30,13 +30,17 @@
 //! ```
 
 mod algos;
+mod error;
 pub mod generators;
 mod graph;
+mod partition;
 mod stats;
 
 pub use algos::{
     average_path_length, bfs_distances, clustering_coefficient, connected_components, pagerank,
     partition_bfs, sample_neighbors,
 };
+pub use error::GraphError;
 pub use graph::Graph;
+pub use partition::{OperatorBlock, PartitionBlock, Partitioning};
 pub use stats::{degree_assortativity, degree_histogram, degree_stats, k_core, DegreeStats};

@@ -1,0 +1,285 @@
+//! Lazy per-partition propagation caches (DESIGN.md §14).
+//!
+//! [`crate::Engine`] evaluates the whole frozen program at load time — the
+//! right trade when most nodes will be queried. [`LazyEngine`] instead
+//! plans the program through the row-demand evaluator
+//! ([`lasagne_autograd::RowPlan`]) at load time and materializes logits
+//! **one partition at a time**, on first query of any node in that
+//! partition. Peak memory is O(partition + halo) per fault instead of
+//! O(graph), and partitions never touched stay unmaterialized.
+//!
+//! The exactness contract is inherited from the evaluator, not relaxed:
+//! every row served is bitwise identical to the resident engine's row
+//! (pinned by `tests/partition_equiv.rs`). Programs that cannot honor that
+//! contract row-locally (GAT's graph-global attention softmax) are refused
+//! typed at load time, as are quantized artifacts (the fused panel kernel
+//! is a whole-matrix path) and streaming mutations (the caches would go
+//! silently stale).
+
+use std::sync::OnceLock;
+
+use lasagne_autograd::{PevalError, ProgramOp, RowPlan};
+use lasagne_graph::{Graph, Partitioning};
+use lasagne_sparse::Csr;
+use lasagne_tensor::{Tensor, TensorRng};
+
+use crate::engine::Prediction;
+use crate::error::{ServeError, ServeResult};
+use crate::frozen::{FrozenMeta, FrozenModel};
+use crate::streaming::Mutation;
+
+/// Deterministic seed for the load-time BFS partitioning: partition layout
+/// is a pure function of the frozen artifact and `k`.
+const PARTITION_SEED: u64 = 0;
+
+fn peval_err(e: PevalError) -> ServeError {
+    match e {
+        PevalError::MissingParam(name) => ServeError::MissingParam(name),
+        PevalError::NotRowLocal { .. } => ServeError::Mismatch(format!(
+            "program is not row-local, cannot serve it partition-lazily: {e} \
+             (serve the resident engine instead)"
+        )),
+        other => ServeError::Internal(format!("partitioned evaluation: {other}")),
+    }
+}
+
+/// One materialized partition: logits and softmax rows for the partition's
+/// nodes, in partition order.
+struct PartCache {
+    logits: Tensor,
+    probs: Tensor,
+}
+
+/// A frozen model serving out of lazily materialized per-partition caches.
+pub struct LazyEngine {
+    meta: FrozenMeta,
+    // The plan inputs, held without `Rc` so the engine stays `Send + Sync`
+    // (a `RowPlan` is rebuilt per materialization; planning is shape
+    // inference only, evaluation dominates).
+    ops: Vec<ProgramOp>,
+    sparse: Vec<Csr>,
+    weights: Vec<(String, Tensor)>,
+    output: usize,
+    /// Sorted node lists forming an exact cover of `0..num_nodes`, in
+    /// deterministic order.
+    parts: Vec<Vec<usize>>,
+    /// Partition index per node.
+    part_of: Vec<u32>,
+    /// Row position of each node inside its partition's cache.
+    pos_in_part: Vec<u32>,
+    /// Materialize-once slots; an evaluation failure is cached typed too.
+    caches: Vec<OnceLock<ServeResult<PartCache>>>,
+}
+
+impl LazyEngine {
+    /// Plan `frozen` for partition-lazy serving with `k` partitions.
+    ///
+    /// Models frozen with a graph binding are partitioned with the same
+    /// BFS-grown [`Partitioning`] the training side uses (seeded
+    /// deterministically); models without a binding fall back to contiguous
+    /// node ranges — the exactness contract is independent of the layout.
+    pub fn new(frozen: FrozenModel, k: usize) -> ServeResult<LazyEngine> {
+        lasagne_obs::span!("serve.engine.lazy_load");
+        if frozen.is_quantized() {
+            return Err(ServeError::Mismatch(
+                "quantized frozen models cannot be served partition-lazily \
+                 (the fused dequantizing matmul is a whole-matrix kernel); \
+                 serve the exact f32 artifact"
+                    .into(),
+            ));
+        }
+        let n = frozen.meta.num_nodes;
+        if k < 1 || k > n.max(1) {
+            return Err(ServeError::Mismatch(format!(
+                "invalid partition count {k} for a graph of {n} nodes"
+            )));
+        }
+        let parts = match &frozen.graph {
+            Some(binding) => {
+                let g = graph_from_adjacency(&binding.adjacency);
+                let mut rng = TensorRng::seed_from_u64(PARTITION_SEED);
+                let partitioning = Partitioning::new(&g, k, &mut rng)
+                    .map_err(|e| ServeError::Mismatch(e.to_string()))?;
+                partitioning.parts().iter().map(|b| b.core.clone()).collect::<Vec<_>>()
+            }
+            None => contiguous_parts(n, k),
+        };
+        let mut part_of = vec![0u32; n];
+        let mut pos_in_part = vec![0u32; n];
+        for (p, part) in parts.iter().enumerate() {
+            for (pos, &v) in part.iter().enumerate() {
+                part_of[v] = p as u32;
+                pos_in_part[v] = pos as u32;
+            }
+        }
+        let weights: Vec<(String, Tensor)> =
+            frozen.weights.iter().map(|(name, w)| (name.clone(), w.to_tensor())).collect();
+        let ops = frozen.program.ops;
+        let sparse: Vec<Csr> = frozen
+            .program
+            .sparse
+            .into_iter()
+            .map(|m| std::rc::Rc::try_unwrap(m).unwrap_or_else(|rc| (*rc).clone()))
+            .collect();
+        let output = frozen.program.output;
+        // Plan once up front: row-locality and missing weights surface as
+        // typed load errors, not first-query surprises.
+        {
+            let plan = RowPlan::from_parts(&ops, sparse.iter().collect(), &weights, output)
+                .map_err(peval_err)?;
+            if plan.output_shape() != (n, frozen.meta.num_classes) {
+                return Err(ServeError::Mismatch(format!(
+                    "program output is {:?} but metadata says {} nodes × {} classes",
+                    plan.output_shape(),
+                    n,
+                    frozen.meta.num_classes
+                )));
+            }
+        }
+        let caches = (0..parts.len()).map(|_| OnceLock::new()).collect();
+        Ok(LazyEngine {
+            meta: frozen.meta,
+            ops,
+            sparse,
+            weights,
+            output,
+            parts,
+            part_of,
+            pos_in_part,
+            caches,
+        })
+    }
+
+    /// Load + checksum the frozen file at `path` and plan it lazily.
+    pub fn load_path(path: &std::path::Path, k: usize) -> ServeResult<LazyEngine> {
+        LazyEngine::new(FrozenModel::load(path)?, k)
+    }
+
+    /// Provenance/shape metadata of the loaded model.
+    pub fn meta(&self) -> &FrozenMeta {
+        &self.meta
+    }
+
+    /// Nodes in the frozen graph (valid query ids are `0..num_nodes`).
+    pub fn num_nodes(&self) -> usize {
+        self.meta.num_nodes
+    }
+
+    /// Output classes.
+    pub fn num_classes(&self) -> usize {
+        self.meta.num_classes
+    }
+
+    /// Number of partitions the node set is split into.
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// How many partitions have been materialized so far — the observable
+    /// laziness (starts at 0, grows only when queries touch new parts).
+    pub fn cached_parts(&self) -> usize {
+        self.caches.iter().filter(|c| c.get().is_some()).count()
+    }
+
+    fn check_node(&self, node: usize) -> ServeResult<()> {
+        if node >= self.meta.num_nodes {
+            return Err(ServeError::UnknownNode { node, num_nodes: self.meta.num_nodes });
+        }
+        Ok(())
+    }
+
+    /// Materialize (once) and return the cache of partition `p`.
+    fn part_cache(&self, p: usize) -> ServeResult<&PartCache> {
+        self.caches[p]
+            .get_or_init(|| {
+                lasagne_obs::span!("serve.engine.lazy_materialize");
+                let plan = RowPlan::from_parts(
+                    &self.ops,
+                    self.sparse.iter().collect(),
+                    &self.weights,
+                    self.output,
+                )
+                .map_err(peval_err)?;
+                let logits = plan.eval_rows(&self.parts[p]).map_err(peval_err)?;
+                let probs = logits.softmax_rows();
+                Ok(PartCache { logits, probs })
+            })
+            .as_ref()
+            .map_err(|e| e.clone())
+    }
+
+    /// Raw logits row for a node — bitwise identical to
+    /// [`crate::Engine::logits_row`] on the same artifact.
+    pub fn logits_row(&self, node: usize) -> ServeResult<&[f32]> {
+        self.check_node(node)?;
+        let p = self.part_of[node] as usize;
+        let cache = self.part_cache(p)?;
+        Ok(cache.logits.row(self.pos_in_part[node] as usize))
+    }
+
+    /// Argmax class + softmax distribution for a node.
+    pub fn predict(&self, node: usize) -> ServeResult<Prediction> {
+        self.check_node(node)?;
+        let p = self.part_of[node] as usize;
+        let cache = self.part_cache(p)?;
+        let probs = cache.probs.row(self.pos_in_part[node] as usize);
+        let class = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        Ok(Prediction { node, class, probs: probs.to_vec() })
+    }
+
+    /// The `k` most probable classes for a node, most probable first
+    /// (ties broken by lower class id; `k` is clamped to the class count).
+    pub fn top_k(&self, node: usize, k: usize) -> ServeResult<Vec<(usize, f32)>> {
+        self.check_node(node)?;
+        let p = self.part_of[node] as usize;
+        let cache = self.part_cache(p)?;
+        let probs = cache.probs.row(self.pos_in_part[node] as usize);
+        let mut ranked: Vec<(usize, f32)> = probs.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(k.min(self.meta.num_classes));
+        Ok(ranked)
+    }
+
+    /// Streaming mutations are refused typed: patching a lazily cached
+    /// engine would leave unmaterialized partitions reading the old graph
+    /// and materialized ones the new — serve the resident [`crate::Engine`]
+    /// for mutable graphs.
+    pub fn apply_mutation(&mut self, _mutation: &Mutation) -> ServeResult<()> {
+        Err(ServeError::Mismatch(
+            "lazy partitioned engines do not support streaming mutations; \
+             serve the resident engine for mutable graphs"
+                .into(),
+        ))
+    }
+}
+
+/// Rebuild a [`Graph`] from the frozen raw adjacency (upper triangle of the
+/// symmetric CSR).
+fn graph_from_adjacency(adj: &Csr) -> Graph {
+    let (n, _) = adj.shape();
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for &v in adj.row_indices(u) {
+            if (v as usize) > u {
+                edges.push((u as u32, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Contiguous node ranges — the binding-free fallback layout.
+fn contiguous_parts(n: usize, k: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![Vec::new(); k];
+    }
+    let cap = n.div_ceil(k);
+    (0..n).collect::<Vec<_>>().chunks(cap).map(|c| c.to_vec()).collect()
+}

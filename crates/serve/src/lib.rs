@@ -48,6 +48,7 @@ mod engine;
 mod error;
 mod export;
 mod frozen;
+mod lazy;
 mod protocol;
 mod quant;
 mod server;
@@ -55,6 +56,7 @@ mod streaming;
 
 pub use client::Client;
 pub use engine::{evaluate_program, Engine, Prediction};
+pub use lazy::LazyEngine;
 pub use error::{ServeError, ServeResult};
 pub use export::freeze;
 pub use frozen::{FrozenGraph, FrozenMeta, FrozenModel, FrozenWeight, SparseKind};
@@ -64,5 +66,5 @@ pub use protocol::{
     top_k_response, Request, StatsSnapshot,
 };
 pub use quant::{QuantMatrix, QuantMode};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, ServerEngine};
 pub use streaming::{Mutation, MutationReport, DEFAULT_COMPACT_EVERY};

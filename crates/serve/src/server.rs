@@ -50,15 +50,91 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::engine::Engine;
+use crate::engine::{Engine, Prediction};
 use crate::error::{ServeError, ServeResult};
 use crate::frozen::FrozenMeta;
+use crate::lazy::LazyEngine;
 use crate::protocol::{
     debug_sleep_response, error_response, error_response_versioned, health_response,
     mutation_response, predict_response, shutdown_response, stats_response, swap_response,
     top_k_response, Request, StatsSnapshot,
 };
-use crate::streaming::Mutation;
+use crate::streaming::{Mutation, MutationReport};
+
+/// The engine a server answers from: the resident propagation-cache
+/// [`Engine`], or the partition-lazy [`LazyEngine`] (DESIGN.md §14). The
+/// batcher thread owns it either way, and hot swaps preserve the mode — a
+/// lazy server re-plans the incoming artifact with the same partition
+/// count instead of silently materializing a full cache.
+pub enum ServerEngine {
+    /// Full-graph cache materialized at load.
+    Resident(Engine),
+    /// Per-partition caches materialized on first query.
+    Lazy(LazyEngine),
+}
+
+impl From<Engine> for ServerEngine {
+    fn from(e: Engine) -> ServerEngine {
+        ServerEngine::Resident(e)
+    }
+}
+
+impl From<LazyEngine> for ServerEngine {
+    fn from(e: LazyEngine) -> ServerEngine {
+        ServerEngine::Lazy(e)
+    }
+}
+
+impl ServerEngine {
+    fn meta(&self) -> &FrozenMeta {
+        match self {
+            ServerEngine::Resident(e) => e.meta(),
+            ServerEngine::Lazy(e) => e.meta(),
+        }
+    }
+
+    fn is_quantized(&self) -> bool {
+        match self {
+            ServerEngine::Resident(e) => e.is_quantized(),
+            // Lazy engines refuse quantized artifacts at construction.
+            ServerEngine::Lazy(_) => false,
+        }
+    }
+
+    /// `Some(k)` when lazy — the partition count swaps must preserve.
+    fn lazy_partitions(&self) -> Option<usize> {
+        match self {
+            ServerEngine::Resident(_) => None,
+            ServerEngine::Lazy(e) => Some(e.num_parts()),
+        }
+    }
+
+    fn predict(&mut self, node: usize) -> ServeResult<Prediction> {
+        match self {
+            ServerEngine::Resident(e) => e.predict(node),
+            ServerEngine::Lazy(e) => e.predict(node),
+        }
+    }
+
+    fn top_k(&mut self, node: usize, k: usize) -> ServeResult<Vec<(usize, f32)>> {
+        match self {
+            ServerEngine::Resident(e) => e.top_k(node, k),
+            ServerEngine::Lazy(e) => e.top_k(node, k),
+        }
+    }
+
+    fn apply_mutation(&mut self, m: &Mutation) -> ServeResult<MutationReport> {
+        match self {
+            ServerEngine::Resident(e) => e.apply_mutation(m),
+            ServerEngine::Lazy(e) => match e.apply_mutation(m) {
+                Err(err) => Err(err),
+                Ok(()) => {
+                    Err(ServeError::Internal("lazy mutation unexpectedly succeeded".into()))
+                }
+            },
+        }
+    }
+}
 
 /// Server tunables. The defaults are sized for a trusted LAN client pool;
 /// the chaos suite and the verify soak run with much tighter ones.
@@ -121,7 +197,7 @@ struct Job {
 
 /// An engine built off-thread, waiting for the batcher to install it.
 struct PendingSwap {
-    engine: Engine,
+    engine: ServerEngine,
     version: u64,
 }
 
@@ -196,6 +272,9 @@ struct Shared {
     /// Mirror of the installed engine's quantized flag (the engine itself
     /// lives in the batcher thread); updated at swap install.
     quantized: AtomicBool,
+    /// `Some(k)` when the server runs partition-lazily: swap loads re-plan
+    /// the new artifact with the same `k` instead of going resident.
+    lazy_partitions: Option<usize>,
     start: Instant,
     debug_ops: bool,
 }
@@ -288,6 +367,13 @@ impl Server {
     /// The engine moves into the batcher thread — it is the only thread
     /// that touches model state.
     pub fn start(engine: Engine, config: ServerConfig) -> ServeResult<Server> {
+        Server::start_with(ServerEngine::Resident(engine), config)
+    }
+
+    /// [`Server::start`] for either engine mode — pass
+    /// `ServerEngine::Lazy(LazyEngine::new(frozen, k)?)` to serve out of
+    /// lazily materialized per-partition caches.
+    pub fn start_with(engine: ServerEngine, config: ServerConfig) -> ServeResult<Server> {
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| ServeError::Io(format!("bind {}: {e}", config.addr)))?;
         let addr = listener
@@ -313,6 +399,7 @@ impl Server {
             swaps: AtomicU64::new(0),
             last_shed_ns: AtomicU64::new(u64::MAX),
             quantized: AtomicBool::new(engine.is_quantized()),
+            lazy_partitions: engine.lazy_partitions(),
             start: Instant::now(),
             debug_ops,
         });
@@ -407,7 +494,10 @@ impl Drop for Server {
 /// caller's thread; the batcher never blocks on a load.
 fn submit_swap(shared: &Shared, path: &Path) -> ServeResult<u64> {
     lasagne_obs::span!("serve.swap.load");
-    let engine = Engine::load_path(path)?;
+    let engine = match shared.lazy_partitions {
+        Some(k) => ServerEngine::Lazy(LazyEngine::load_path(path, k)?),
+        None => ServerEngine::Resident(Engine::load_path(path)?),
+    };
     let version = shared.version_alloc.fetch_add(1, Ordering::SeqCst) + 1;
     {
         let mut slot = shared.lock_swap();
@@ -652,7 +742,7 @@ fn enqueue_and_wait(shared: &Shared, request: Request) -> ServeResult<String> {
     rx.recv().map_err(|_| ServeError::Draining)
 }
 
-fn batcher_loop(mut engine: Engine, shared: Arc<Shared>, max_batch: usize) {
+fn batcher_loop(mut engine: ServerEngine, shared: Arc<Shared>, max_batch: usize) {
     let mut version = shared.model_version.load(Ordering::SeqCst);
     loop {
         // Swap installation point: always at a batch boundary, so a batch
@@ -746,13 +836,13 @@ fn batcher_loop(mut engine: Engine, shared: Arc<Shared>, max_batch: usize) {
 }
 
 fn handle_model_request(
-    engine: &mut Engine,
+    engine: &mut ServerEngine,
     request: &Request,
     debug_ops: bool,
     version: u64,
 ) -> String {
     lasagne_obs::span!("serve.request");
-    let mutate = |engine: &mut Engine, op: &str, m: Mutation| -> String {
+    let mutate = |engine: &mut ServerEngine, op: &str, m: Mutation| -> String {
         match engine.apply_mutation(&m) {
             Ok(report) => mutation_response(op, &report, version),
             Err(e) => error_response_versioned(&e, Some(version)),

@@ -366,6 +366,46 @@ impl Tensor {
         out
     }
 
+    /// `self · other` on the seed axpy loop with a **caller-supplied**
+    /// zero-skip decision in place of the internal density probe. Bitwise
+    /// identical to [`Tensor::matmul`] whenever `skip` equals what
+    /// `looks_sparse` would report for the left operand of that product —
+    /// which is how the out-of-core evaluator uses it: holding only a row
+    /// subset of the true left operand, it reconstructs the full-operand
+    /// probe from the (always-demanded) sampled rows and passes the verdict
+    /// here, so partitioned products keep the resident branch choice and
+    /// therefore the resident bits (DESIGN.md §14).
+    pub fn matmul_with_skip(&self, other: &Tensor, skip: bool) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul_with_skip: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k, m) = (self.cols, other.cols);
+        let mut out = Tensor::zeros(self.rows, m);
+        if self.rows == 0 || m == 0 {
+            return out;
+        }
+        let (a, b) = (&self.data, &other.data);
+        for i in 0..self.rows {
+            let a_row = &a[i * k..(i + 1) * k];
+            let o_row = &mut out.data[i * m..(i + 1) * m];
+            if skip {
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    axpy(o_row, aik, &b[kk * m..(kk + 1) * m]);
+                }
+            } else {
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    axpy(o_row, aik, &b[kk * m..(kk + 1) * m]);
+                }
+            }
+        }
+        out
+    }
+
     /// `selfᵀ · other` without forming the transpose.
     /// Panics if `self.rows != other.rows`.
     ///
@@ -718,6 +758,32 @@ mod tests {
             }
         }
         assert_eq!(sparse_a.matmul_rows(&b, &[]).shape(), (0, 4));
+    }
+
+    #[test]
+    fn matmul_with_skip_matches_matmul_when_skip_matches_probe() {
+        // Same two probe classes as above; the explicit flag with the value
+        // looks_sparse would pick must reproduce the full product bitwise.
+        let sparse_a = Tensor::from_fn(6, 5, |i, j| if (i + j) % 3 == 0 { 0.37 * (i + 1) as f32 } else { 0.0 });
+        let dense_a = Tensor::from_fn(6, 5, |i, j| 0.11 * (i * 5 + j + 1) as f32);
+        let b = Tensor::from_fn(5, 4, |i, j| ((i * 4 + j) as f32).cos());
+        for a in [&sparse_a, &dense_a] {
+            let full = a.matmul(&b);
+            let ours = a.matmul_with_skip(&b, a.looks_sparse());
+            let got: Vec<u32> = ours.as_slice().iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u32> = full.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want);
+        }
+        // And both flag values agree with matmul_rows under the same flag
+        // semantics (all rows selected).
+        for skip in [false, true] {
+            let via_rows = sparse_a.matmul_rows(&b, &[0, 1, 2, 3, 4, 5]);
+            let _ = skip; // matmul_rows probes internally; only compare on match
+            if skip == sparse_a.looks_sparse() {
+                let ours = sparse_a.matmul_with_skip(&b, skip);
+                assert_eq!(ours.as_slice(), via_rows.as_slice());
+            }
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@
 mod checkpoint;
 mod error;
 mod metrics;
+mod partition;
 mod runner;
 mod table;
 mod trainer;
@@ -45,6 +46,10 @@ pub use checkpoint::{
 };
 pub use error::{TrainError, TrainResult};
 pub use metrics::{accuracy, confusion_counts, macro_f1};
+pub use partition::{
+    evaluate_partitioned, export_eval_program, PartitionStore, SpilledBlock,
+    StreamedClusterBatches,
+};
 pub use runner::{run_seeds, run_seeds_fallible, SeedSummary};
 pub use table::Table;
 pub use trainer::{

@@ -170,4 +170,35 @@ cargo run --release --offline -p lasagne-bench --bin streaming-bench -- \
     --smoke --out target/BENCH_streaming.smoke.json > /dev/null
 test -s target/BENCH_streaming.smoke.json
 
+echo "== partitioning: property suite + equivalence harnesses at 1 and 4 threads =="
+# The partition-equivalence contract (DESIGN.md §14): partitioned eval,
+# streamed out-of-core training, and lazy partitioned serving are bitwise
+# identical to the resident paths, at both pool sizes; corrupted partition
+# blocks always fail typed.
+LASAGNE_THREADS=1 cargo test -q --offline -p lasagne-graph --test partition
+LASAGNE_THREADS=4 cargo test -q --offline -p lasagne-graph --test partition
+LASAGNE_THREADS=1 cargo test -q --offline -p lasagne-train --test partition_equiv
+LASAGNE_THREADS=4 cargo test -q --offline -p lasagne-train --test partition_equiv
+cargo test -q --offline -p lasagne-train --test partition_faults
+LASAGNE_THREADS=1 cargo test -q --offline -p lasagne-serve --test partition_equiv
+LASAGNE_THREADS=4 cargo test -q --offline -p lasagne-serve --test partition_equiv
+
+echo "== partitioned serving: lazy server conforms to the wire protocol =="
+cargo run --release --offline --bin lasagne-cli -- \
+    serve --frozen target/verify_frozen_a.json --partitions 4 --port 17881 > /dev/null &
+LAZY_PID=$!
+cargo run --release --offline -p lasagne-bench --bin serve-bench -- \
+    --check --addr 127.0.0.1:17881
+cargo run --release --offline -p lasagne-bench --bin serve-bench -- \
+    --shutdown --addr 127.0.0.1:17881
+wait "$LAZY_PID"
+
+echo "== scale bench smoke (per-mode child processes, peak-RSS regression guard) =="
+# Exits non-zero unless partitioned peak RSS is strictly below resident
+# peak RSS on the largest smoke graph — the out-of-core memory claim,
+# measured, not asserted.
+cargo run --release --offline -p lasagne-bench --bin scale-bench -- \
+    --smoke --out target/BENCH_scale.smoke.json
+test -s target/BENCH_scale.smoke.json
+
 echo "verify: OK"

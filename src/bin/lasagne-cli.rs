@@ -32,6 +32,10 @@
 //! cargo run --release --bin lasagne-cli -- cora gcn --epochs 100 --export /tmp/gcn.frozen.json
 //! cargo run --release --bin lasagne-cli -- serve --frozen /tmp/gcn.frozen.json --port 7878
 //! ```
+//!
+//! `serve --partitions K` answers out of lazily materialized per-partition
+//! caches (DESIGN.md §14) instead of propagating the whole graph at load —
+//! same bits per row, O(partition) peak memory, mutations refused typed.
 
 use lasagne::prelude::*;
 use lasagne_obs::{TraceReport, TraceSink};
@@ -69,7 +73,7 @@ fn usage() -> ! {
     eprintln!("                   [--resume PATH] [--max-recoveries N] [--clip-norm X] [--threads N] [--export PATH]");
     eprintln!("                   [--export-quantized PATH] [--quant-mode i8|f16]");
     eprintln!("                   [--trace-out PATH] [--trace-summary] [--trace-deterministic]");
-    eprintln!("       lasagne-cli serve --frozen PATH [--quantized] [--port N] [--host ADDR] [--max-batch N] [--compact-every N]");
+    eprintln!("       lasagne-cli serve --frozen PATH [--quantized] [--partitions K] [--port N] [--host ADDR] [--max-batch N] [--compact-every N]");
     eprintln!("                  [--queue-capacity N] [--deadline-ms N] [--max-conns N] [--max-request-bytes N] [--idle-timeout-ms N]");
     eprintln!("       lasagne-cli --list");
     eprintln!("datasets: {}", DatasetId::all().map(|d| d.name()).join(", "));
@@ -98,6 +102,7 @@ fn unknown_flag(flag: &str) -> ! {
 struct ServeArgs {
     frozen: std::path::PathBuf,
     quantized: bool,
+    partitions: Option<usize>,
     host: String,
     port: u16,
     max_batch: usize,
@@ -113,6 +118,7 @@ struct ServeArgs {
 fn parse_serve_args(argv: &[String]) -> ServeArgs {
     let mut frozen: Option<std::path::PathBuf> = None;
     let mut quantized = false;
+    let mut partitions: Option<usize> = None;
     let mut host = "127.0.0.1".to_string();
     let mut port: u16 = 7878;
     let mut max_batch: usize = 64;
@@ -136,6 +142,11 @@ fn parse_serve_args(argv: &[String]) -> ServeArgs {
         let value = argv.get(i + 1).unwrap_or_else(|| missing_value(flag));
         match flag {
             "--frozen" => frozen = Some(value.into()),
+            "--partitions" => {
+                partitions = Some(
+                    value.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| bad_value(flag, value)),
+                )
+            }
             "--host" => host = value.clone(),
             "--port" => port = value.parse().unwrap_or_else(|_| bad_value(flag, value)),
             "--max-batch" => {
@@ -194,6 +205,7 @@ fn parse_serve_args(argv: &[String]) -> ServeArgs {
     ServeArgs {
         frozen,
         quantized,
+        partitions,
         host,
         port,
         max_batch,
@@ -238,16 +250,35 @@ fn run_serve(args: ServeArgs) -> ! {
         frozen.meta.num_classes,
         frozen.weights.len(),
     );
-    let mut engine = Engine::new(frozen).unwrap_or_else(|e| {
-        eprintln!("error: cannot build inference engine: {e}");
-        std::process::exit(1);
-    });
-    if let Some(n) = args.compact_every {
-        engine.set_compact_every(n);
-    }
-    if engine.supports_mutation() {
-        println!("streaming mutations enabled (add_edge / remove_edge / add_node)");
-    }
+    let engine: lasagne_serve::ServerEngine = match args.partitions {
+        // Partition-lazy serving (DESIGN.md §14): plan now, materialize a
+        // partition's cache on first query of any node inside it.
+        Some(k) => {
+            let lazy = lasagne_serve::LazyEngine::new(frozen, k).unwrap_or_else(|e| {
+                eprintln!("error: cannot build partition-lazy engine: {e}");
+                std::process::exit(1);
+            });
+            if args.compact_every.is_some() {
+                eprintln!("error: --compact-every applies to streaming mutations, which partition-lazy serving refuses; drop --partitions or --compact-every");
+                std::process::exit(1);
+            }
+            println!("partition-lazy serving: {} partitions, nothing materialized yet", lazy.num_parts());
+            lazy.into()
+        }
+        None => {
+            let mut engine = Engine::new(frozen).unwrap_or_else(|e| {
+                eprintln!("error: cannot build inference engine: {e}");
+                std::process::exit(1);
+            });
+            if let Some(n) = args.compact_every {
+                engine.set_compact_every(n);
+            }
+            if engine.supports_mutation() {
+                println!("streaming mutations enabled (add_edge / remove_edge / add_node)");
+            }
+            engine.into()
+        }
+    };
     let config = lasagne_serve::ServerConfig {
         addr: format!("{}:{}", args.host, args.port),
         max_batch: args.max_batch,
@@ -259,7 +290,7 @@ fn run_serve(args: ServeArgs) -> ! {
         idle_timeout_ms: args.idle_timeout_ms,
         ..lasagne_serve::ServerConfig::default()
     };
-    let server = Server::start(engine, config).unwrap_or_else(|e| {
+    let server = Server::start_with(engine, config).unwrap_or_else(|e| {
         eprintln!("error: cannot start server: {e}");
         std::process::exit(1);
     });
