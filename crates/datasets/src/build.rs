@@ -184,6 +184,7 @@ fn build_bipartite(s: DatasetSpec, rng: &mut TensorRng) -> Dataset {
             avg_user_degree: s.avg_degree,
             popularity_exponent: s.power_exponent,
             user_focus: s.homophily,
+            time_buckets: 8,
         },
         rng,
     );

@@ -24,10 +24,12 @@
 
 mod build;
 mod features;
+mod rec;
 mod spec;
 mod splits;
 
 pub use build::Dataset;
 pub use features::{generate_features, FeatureConfig};
+pub use rec::{dot_score, sort_ranked, RecConfig, RecDataset, RecEval};
 pub use spec::{spec, DatasetId, DatasetSpec, Task};
 pub use splits::{stratified_split, Split};

@@ -6,7 +6,7 @@ use std::rc::Rc;
 use lasagne_autograd::{NodeId, ParamStore, Tape};
 use lasagne_datasets::Dataset;
 use lasagne_graph::Graph;
-use lasagne_sparse::Csr;
+use lasagne_sparse::{Csr, EdgeData, EdgeDataError};
 use lasagne_tensor::{Tensor, TensorRng};
 
 /// Train vs eval forward semantics (dropout on/off, sampled vs expected
@@ -37,6 +37,76 @@ pub struct GraphContext {
     pub labels: Rc<Vec<usize>>,
     /// Number of classes.
     pub num_classes: usize,
+    /// Edge-feature bundle for edge-aware models (DESIGN.md §15); `None`
+    /// for the node-feature-only datasets.
+    pub edge: Option<Rc<EdgeBundle>>,
+}
+
+/// The incidence decomposition of `Â` plus the aligned edge features — what
+/// an edge-gated layer consumes (DESIGN.md §15).
+///
+/// `Â x` factors as `T · diag(g) · S x` where `S` (nnz×N) selects each
+/// edge's source column scaled by its `Â` value, `T` (N×nnz) sums each
+/// row's edges, and `g` is the per-edge gate. Both operators are plain
+/// [`Csr`]s, so the whole layer is expressible in tape ops the program
+/// exporter and the serving engine already handle.
+pub struct EdgeBundle {
+    /// `nnz×N` selector: row `e` has a single entry `Â_val(e)` at the
+    /// source column of `Â`'s `e`-th stored entry.
+    pub select: Rc<Csr>,
+    /// `N×nnz` aggregator: row `i` has a `1` for every flat position of
+    /// `Â`'s row `i`.
+    pub aggregate: Rc<Csr>,
+    /// `nnz×d_e` edge features aligned to `Â`'s flat entry order.
+    /// Self-loop entries (absent from the raw adjacency) get zero rows, so
+    /// their gate is `σ(b_g)`.
+    pub feats: Tensor,
+    /// Edge-feature width `d_e`.
+    pub dim: usize,
+}
+
+impl EdgeBundle {
+    /// Decompose `a_hat` and align `edges` (which is aligned to the raw
+    /// `adjacency`) to its entry order. Fails typed if the edge table and
+    /// the adjacency disagree on entry count.
+    pub fn new(a_hat: &Csr, adjacency: &Csr, edges: &EdgeData) -> Result<EdgeBundle, EdgeDataError> {
+        edges.check_aligned(adjacency)?;
+        let nnz = a_hat.nnz();
+        let n = a_hat.rows();
+        let select = Csr::from_parts(
+            nnz,
+            n,
+            (0..=nnz).collect(),
+            a_hat.indices().to_vec(),
+            a_hat.values().to_vec(),
+        );
+        let aggregate = Csr::from_parts(
+            n,
+            nnz,
+            a_hat.indptr().to_vec(),
+            (0..nnz as u32).collect(),
+            vec![1.0; nnz],
+        );
+        let mut feats = Tensor::zeros(nnz, edges.dim());
+        let mut flat = 0usize;
+        for r in 0..n {
+            for &c in a_hat.row_indices(r) {
+                if r as u32 != c {
+                    let e = adjacency.edge_position(r as u32, c).ok_or(
+                        EdgeDataError::MissingFeature { row: r as u32, col: c },
+                    )?;
+                    feats.row_mut(flat).copy_from_slice(edges.row(e));
+                }
+                flat += 1;
+            }
+        }
+        Ok(EdgeBundle {
+            select: Rc::new(select),
+            aggregate: Rc::new(aggregate),
+            feats,
+            dim: edges.dim(),
+        })
+    }
 }
 
 impl GraphContext {
@@ -57,7 +127,24 @@ impl GraphContext {
             features: Rc::new(features),
             labels: Rc::new(labels),
             num_classes,
+            edge: None,
         }
+    }
+
+    /// Like [`GraphContext::new`], additionally attaching edge features
+    /// aligned to the graph's adjacency (nnz order). Fails typed on
+    /// misalignment instead of serving a silently-permuted gate.
+    pub fn with_edge_data(
+        graph: &Graph,
+        features: Tensor,
+        labels: Vec<usize>,
+        num_classes: usize,
+        edges: &EdgeData,
+    ) -> Result<GraphContext, EdgeDataError> {
+        let mut ctx = GraphContext::new(graph, features, labels, num_classes);
+        let bundle = EdgeBundle::new(&ctx.a_hat, &ctx.adjacency, edges)?;
+        ctx.edge = Some(Rc::new(bundle));
+        Ok(ctx)
     }
 
     /// Context over a full dataset.

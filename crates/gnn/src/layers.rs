@@ -59,6 +59,72 @@ impl GraphConvLayer {
     }
 }
 
+/// One LASE-style edge-gated convolution (DESIGN.md §15):
+/// `T diag(σ(E w_g + b_g)) S (X W) + b`, where `S`/`T` are the incidence
+/// decomposition of `Â` ([`crate::EdgeBundle`]) and `E` is the aligned
+/// `nnz×d_e` edge-feature table. Each message `Â_ij x_j W` is scaled by a
+/// per-edge gate `σ(e_ij · w_g + b_g)` before the row aggregation — the
+/// link attribute decides how much of the neighbor gets through.
+pub struct EdgeGatedConvLayer {
+    w: ParamId,
+    b: ParamId,
+    wg: ParamId,
+    bg: ParamId,
+}
+
+impl EdgeGatedConvLayer {
+    /// Glorot-initialized layer; the gate starts at `σ(E w_g)` with a zero
+    /// (decay-exempt) bias.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        edge_dim: usize,
+        rng: &mut TensorRng,
+    ) -> EdgeGatedConvLayer {
+        let w = store.add(format!("{name}.w"), rng.glorot_uniform(in_dim, out_dim));
+        let b = store.add_with_decay(
+            format!("{name}.b"),
+            lasagne_tensor::Tensor::zeros(1, out_dim),
+            false,
+        );
+        let wg = store.add(format!("{name}.wg"), rng.glorot_uniform(edge_dim, 1));
+        let bg = store.add_with_decay(
+            format!("{name}.bg"),
+            lasagne_tensor::Tensor::zeros(1, 1),
+            false,
+        );
+        EdgeGatedConvLayer { w, b, wg, bg }
+    }
+
+    /// Gated aggregation. `e_feats` is the `nnz×d_e` edge-feature constant
+    /// (recorded once per forward by the model and shared across layers);
+    /// `select`/`aggregate` come from the context's [`crate::EdgeBundle`].
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        select: &Rc<Csr>,
+        aggregate: &Rc<Csr>,
+        e_feats: NodeId,
+        x: NodeId,
+    ) -> NodeId {
+        let w = tape.param(self.w, store);
+        let xw = tape.matmul(x, w);
+        let msgs = tape.spmm(Rc::clone(select), xw);
+        let wg = tape.param(self.wg, store);
+        let score = tape.matmul(e_feats, wg);
+        let bg = tape.param(self.bg, store);
+        let score = tape.add_row_broadcast(score, bg);
+        let gate = tape.sigmoid(score);
+        let gated = tape.mul_col_broadcast(msgs, gate);
+        let agg = tape.spmm(Rc::clone(aggregate), gated);
+        let b = tape.param(self.b, store);
+        tape.add_row_broadcast(agg, b)
+    }
+}
+
 /// Dense layer `X W + b`.
 pub struct LinearLayer {
     w: ParamId,
@@ -187,6 +253,28 @@ mod tests {
         let y = layer.forward(&mut tape, &store, xn);
         // b is zero at init, so y = x·w.
         let expect = x.matmul(store.value(layer.w));
+        assert!(tape.value(y).approx_eq(&expect, 1e-6));
+    }
+
+    #[test]
+    fn edge_gated_with_zero_features_halves_plain_conv() {
+        // With E = 0 and b_g = 0 every gate is σ(0) = 0.5, so the layer
+        // must compute exactly 0.5·Â(XW) — which pins the incidence
+        // decomposition T·diag(g)·S against the fused SpMM.
+        let adj = Csr::from_coo(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]);
+        let a_hat = adj.gcn_normalize();
+        let edges = lasagne_sparse::EdgeData::zeros(adj.nnz(), 2);
+        let bundle = crate::EdgeBundle::new(&a_hat, &adj, &edges).unwrap();
+        let mut rng = TensorRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let layer = EdgeGatedConvLayer::new(&mut store, "eg0", 5, 4, 2, &mut rng);
+        let x = rng.uniform_tensor(3, 5, -1.0, 1.0);
+        let mut tape = Tape::new();
+        let xn = tape.constant(x.clone());
+        let ef = tape.constant(bundle.feats.clone());
+        let y = layer.forward(&mut tape, &store, &bundle.select, &bundle.aggregate, ef, xn);
+        let w = store.value(layer.w);
+        let expect = a_hat.spmm(&x.matmul(w)).scale(0.5);
         assert!(tape.value(y).approx_eq(&expect, 1e-6));
     }
 

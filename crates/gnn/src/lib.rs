@@ -19,6 +19,7 @@
 //! | MADReg (MADGap regularizer) | [`models::MadRegGcn`] | 3 |
 //! | GraphSAGE (mean aggregator) | [`models::GraphSage`] | 4 |
 //! | FastGCN (importance sampling) | [`models::FastGcn`] | 4 |
+//! | EdgeGatedGCN (LASE-style gated aggregation) | [`models::EdgeGatedGcn`] | — (DESIGN.md §15) |
 //!
 //! ClusterGCN and GraphSAINT are *training procedures* over a GCN, provided
 //! as batch strategies in [`sampling`].
@@ -30,4 +31,4 @@ pub mod models;
 pub mod sampling;
 
 pub use config::Hyper;
-pub use context::{ForwardOutput, GraphContext, Mode, NodeClassifier};
+pub use context::{EdgeBundle, ForwardOutput, GraphContext, Mode, NodeClassifier};

@@ -1,0 +1,166 @@
+//! LASE-style edge-gated GCN (DESIGN.md §15): graph convolution whose
+//! messages are scaled by a learned per-edge gate over link attributes —
+//! the GCN-LASE idea specialized to the gate (the part that carries the
+//! recommendation signal) on top of the incidence decomposition of `Â`.
+
+use lasagne_autograd::{ParamStore, Tape};
+use lasagne_tensor::TensorRng;
+
+use crate::layers::EdgeGatedConvLayer;
+use crate::models::{input_node, maybe_dropout};
+use crate::{ForwardOutput, GraphContext, Hyper, Mode, NodeClassifier};
+
+/// Multi-layer edge-gated GCN:
+/// `H(l) = ReLU(T diag(σ(E w_g + b_g)) S (H(l-1) W(l)) + b(l))`.
+///
+/// Requires a context carrying an [`crate::EdgeBundle`]
+/// ([`GraphContext::with_edge_data`]); forwarding on a node-feature-only
+/// context panics with a named reason — there is no meaningful gate to
+/// compute without link attributes.
+pub struct EdgeGatedGcn {
+    layers: Vec<EdgeGatedConvLayer>,
+    edge_dim: usize,
+    dropout_keep: f32,
+    store: ParamStore,
+}
+
+impl EdgeGatedGcn {
+    /// Build a `hyper.depth`-layer stack for `in_dim` node features,
+    /// `edge_dim` link attributes, and `num_classes` outputs.
+    pub fn new(
+        in_dim: usize,
+        num_classes: usize,
+        edge_dim: usize,
+        hyper: &Hyper,
+        seed: u64,
+    ) -> EdgeGatedGcn {
+        assert!(hyper.depth >= 1, "EdgeGatedGcn: depth must be ≥ 1");
+        assert!(edge_dim >= 1, "EdgeGatedGcn: edge_dim must be ≥ 1");
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let mut layers = Vec::with_capacity(hyper.depth);
+        for l in 0..hyper.depth {
+            let din = if l == 0 { in_dim } else { hyper.hidden };
+            let dout = if l + 1 == hyper.depth { num_classes } else { hyper.hidden };
+            layers.push(EdgeGatedConvLayer::new(
+                &mut store,
+                &format!("eg{l}"),
+                din,
+                dout,
+                edge_dim,
+                &mut rng,
+            ));
+        }
+        EdgeGatedGcn {
+            layers,
+            edge_dim,
+            dropout_keep: hyper.dropout_keep,
+            store,
+        }
+    }
+
+    /// Number of gated-convolution layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+impl NodeClassifier for EdgeGatedGcn {
+    fn name(&self) -> String {
+        format!("EdgeGatedGCN-{}", self.layers.len())
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &GraphContext,
+        mode: Mode,
+        rng: &mut TensorRng,
+    ) -> ForwardOutput {
+        let edge = ctx
+            .edge
+            .as_ref()
+            .expect("EdgeGatedGcn: context has no edge features (use GraphContext::with_edge_data)");
+        assert_eq!(
+            edge.dim, self.edge_dim,
+            "EdgeGatedGcn: context edge dim {} != model edge dim {}",
+            edge.dim, self.edge_dim
+        );
+        // One shared constant for the edge-feature table; every layer's
+        // gate reads the same node, so the exporter stores it once.
+        let e_feats = tape.constant(edge.feats.clone());
+        let mut h = input_node(tape, ctx, mode, self.dropout_keep, rng);
+        for (l, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(
+                tape,
+                &self.store,
+                &edge.select,
+                &edge.aggregate,
+                e_feats,
+                h,
+            );
+            if l + 1 < self.layers.len() {
+                h = tape.relu(h);
+                h = maybe_dropout(tape, h, mode, self.dropout_keep, rng);
+            }
+        }
+        ForwardOutput::logits(h)
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// The edge-feature table is a tape constant aligned to the frozen
+    /// `Â` entry order — any live graph mutation would silently misalign
+    /// it, so the serving layer must refuse mutations typed.
+    fn bakes_graph_into_constants(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_support::{short_fit, tiny_edge_ctx};
+
+    #[test]
+    fn edge_gated_learns_on_bipartite_ctx() {
+        let (ctx, train) = tiny_edge_ctx(0);
+        let mut m = EdgeGatedGcn::new(ctx.input_dim(), ctx.num_classes, 2, &Hyper::default(), 0);
+        let mut rng = TensorRng::seed_from_u64(1);
+        let mut tape = Tape::new();
+        let out = m.forward(&mut tape, &ctx, Mode::Eval, &mut rng);
+        let logits = tape.value(out.logits);
+        assert_eq!(logits.shape(), (ctx.num_nodes(), ctx.num_classes));
+        assert!(!logits.has_non_finite());
+        let (first, last) = short_fit(&mut m, &ctx, &train, 30);
+        assert!(last < first * 0.9, "loss did not decrease ({first} → {last})");
+    }
+
+    #[test]
+    fn eval_mode_is_deterministic() {
+        let (ctx, _) = tiny_edge_ctx(3);
+        let m = EdgeGatedGcn::new(ctx.input_dim(), ctx.num_classes, 2, &Hyper::default(), 0);
+        let mut rng = TensorRng::seed_from_u64(5);
+        let mut t1 = Tape::new();
+        let a = m.forward(&mut t1, &ctx, Mode::Eval, &mut rng);
+        let mut t2 = Tape::new();
+        let b = m.forward(&mut t2, &ctx, Mode::Eval, &mut rng);
+        assert!(t1.value(a.logits).approx_eq(t2.value(b.logits), 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no edge features")]
+    fn refuses_contexts_without_edge_features() {
+        let (ctx, _) = crate::models::test_support::tiny_ctx(0);
+        let m = EdgeGatedGcn::new(8, 3, 2, &Hyper::default(), 0);
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut tape = Tape::new();
+        let _ = m.forward(&mut tape, &ctx, Mode::Eval, &mut rng);
+    }
+}

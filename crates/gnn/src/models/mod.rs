@@ -3,6 +3,7 @@
 mod appnp;
 mod densegcn;
 mod dropedge;
+mod edgegated;
 mod fastgcn;
 mod gat;
 mod gcn;
@@ -17,6 +18,7 @@ mod sgc;
 pub use appnp::Appnp;
 pub use densegcn::DenseGcn;
 pub use dropedge::DropEdgeGcn;
+pub use edgegated::EdgeGatedGcn;
 pub use fastgcn::FastGcn;
 pub use gat::Gat;
 pub use gcn::Gcn;
@@ -104,6 +106,58 @@ pub(crate) mod test_support {
         );
         let train: Vec<usize> = (0..30).collect();
         let ctx = GraphContext::new(&g, features, labels, 3);
+        (ctx, train)
+    }
+
+    /// A 40-node bipartite context (24 items / 16 users, 3 classes) with
+    /// rating + recency edge features attached — the fixture for the
+    /// edge-gated model family.
+    pub fn tiny_edge_ctx(seed: u64) -> (GraphContext, Vec<usize>) {
+        use lasagne_graph::generators::{bipartite_user_item, BipartiteConfig};
+        use lasagne_sparse::EdgeData;
+        use lasagne_tensor::Tensor;
+
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let items = 24usize;
+        let buckets = 4usize;
+        let b = bipartite_user_item(
+            &BipartiteConfig {
+                items,
+                users: 16,
+                classes: 3,
+                avg_user_degree: 3.0,
+                popularity_exponent: 2.0,
+                user_focus: 0.8,
+                time_buckets: buckets,
+            },
+            &mut rng,
+        );
+        let n = b.graph.num_nodes();
+        let centroids = rng.normal_tensor(3, 8, 0.0, 0.6);
+        let mut features = Tensor::zeros(n, 8);
+        let mut labels = vec![0usize; n];
+        for v in 0..n {
+            labels[v] = if v < items { b.item_labels[v] } else { b.user_prefs[v - items] };
+            for (x, &mu) in features.row_mut(v).iter_mut().zip(centroids.row(labels[v])) {
+                *x = mu + 0.3 * rng.normal();
+            }
+        }
+        // Per-interaction attributes, mirrored onto both CSR directions.
+        let attrs: std::collections::HashMap<(u32, u32), (u8, u8)> = b
+            .interactions
+            .iter()
+            .enumerate()
+            .map(|(e, &(i, u))| ((i, u), (b.edge_ratings[e], b.edge_time_buckets[e])))
+            .collect();
+        let edges = EdgeData::for_csr(b.graph.adjacency(), 2, |r, c, out| {
+            let key = if (r as usize) < items { (r, c) } else { (c, r) };
+            let (rating, bucket) = attrs[&key];
+            out[0] = (rating as f32 - 3.0) / 2.0;
+            out[1] = bucket as f32 / (buckets - 1) as f32 - 0.5;
+        });
+        let ctx = GraphContext::with_edge_data(&b.graph, features, labels, 3, &edges)
+            .expect("edge data aligned by construction");
+        let train: Vec<usize> = (0..items / 2).collect();
         (ctx, train)
     }
 

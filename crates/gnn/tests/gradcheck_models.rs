@@ -120,6 +120,85 @@ macro_rules! model_gradcheck {
 }
 
 model_gradcheck!(gcn_gradients_match, Gcn);
+
+/// The edge-gated model needs a context carrying edge features, so it gets
+/// its own fixture: a 30-node bipartite graph with rating/recency link
+/// attributes. Same sweep, same tolerances, same thread counts.
+#[test]
+fn edgegated_gradients_match() {
+    use lasagne_graph::generators::{bipartite_user_item, BipartiteConfig};
+    use lasagne_sparse::EdgeData;
+    use lasagne_tensor::Tensor;
+
+    let mut rng = TensorRng::seed_from_u64(13);
+    let items = 18usize;
+    let buckets = 4usize;
+    let b = bipartite_user_item(
+        &BipartiteConfig {
+            items,
+            users: 12,
+            classes: CLASSES,
+            avg_user_degree: 3.0,
+            popularity_exponent: 2.0,
+            user_focus: 0.8,
+            time_buckets: buckets,
+        },
+        &mut rng,
+    );
+    let n = b.graph.num_nodes();
+    let centroids = rng.normal_tensor(CLASSES, IN_DIM, 0.0, 0.6);
+    let mut features = Tensor::zeros(n, IN_DIM);
+    let mut labels = vec![0usize; n];
+    for v in 0..n {
+        labels[v] = if v < items { b.item_labels[v] } else { b.user_prefs[v - items] };
+        for (x, &mu) in features.row_mut(v).iter_mut().zip(centroids.row(labels[v])) {
+            *x = mu + 0.3 * rng.normal();
+        }
+    }
+    let attrs: std::collections::HashMap<(u32, u32), (u8, u8)> = b
+        .interactions
+        .iter()
+        .enumerate()
+        .map(|(e, &(i, u))| ((i, u), (b.edge_ratings[e], b.edge_time_buckets[e])))
+        .collect();
+    let edges = EdgeData::for_csr(b.graph.adjacency(), 2, |r, c, out| {
+        let key = if (r as usize) < items { (r, c) } else { (c, r) };
+        let (rating, bucket) = attrs[&key];
+        out[0] = (rating as f32 - 3.0) / 2.0;
+        out[1] = bucket as f32 / (buckets - 1) as f32 - 0.5;
+    });
+    let ctx = GraphContext::with_edge_data(&b.graph, features, labels, CLASSES, &edges)
+        .expect("edge data aligned by construction");
+    let train: Vec<usize> = (0..items / 2).collect();
+
+    let labels = Rc::new((*ctx.labels).clone());
+    let idx = Rc::new(train);
+    let mut model: Box<dyn NodeClassifier> = Box::new(models::EdgeGatedGcn::new(
+        IN_DIM,
+        CLASSES,
+        2,
+        &tiny_hyper(),
+        5,
+    ));
+    for &threads in &[1usize, 4] {
+        lasagne_par::set_threads(threads);
+        let forward = |m: &Box<dyn NodeClassifier>, tape: &mut Tape| -> NodeId {
+            let mut rng = TensorRng::seed_from_u64(7);
+            let out = m.forward(tape, &ctx, Mode::Eval, &mut rng);
+            let lp = tape.log_softmax(out.logits);
+            tape.nll_masked(lp, labels.clone(), idx.clone())
+        };
+        let report = grad_check_owner(&mut model, store_of, |_| false, EPS, forward);
+        assert!(report.checked > 0, "EdgeGatedGcn: no parameters were checked");
+        assert!(
+            report.max_rel_err < TOL,
+            "EdgeGatedGcn @ {threads} thread(s): max_rel_err {} (max_abs_err {}, {} coords)",
+            report.max_rel_err,
+            report.max_abs_err,
+            report.checked
+        );
+    }
+}
 model_gradcheck!(resgcn_gradients_match, ResGcn);
 model_gradcheck!(densegcn_gradients_match, DenseGcn);
 model_gradcheck!(jknet_gradients_match, JkNet);

@@ -178,6 +178,9 @@ pub struct BipartiteConfig {
     /// which is exactly what makes hot items indistinguishable by naive
     /// aggregation (§5.2.1 "Production").
     pub user_focus: f64,
+    /// Number of timestamp buckets for per-edge recency attributes (≥ 1,
+    /// ≤ 256; each interaction draws one uniformly).
+    pub time_buckets: usize,
 }
 
 /// Output of [`bipartite_user_item`]: item nodes come first (`0..items`),
@@ -191,11 +194,25 @@ pub struct BipartiteGraph {
     pub user_prefs: Vec<usize>,
     /// Popularity weight per item (Pareto).
     pub item_popularity: Vec<f64>,
+    /// The `(item, user_node)` interactions in generation order — the key
+    /// for the two attribute vectors below. `graph` re-sorts edges into CSR
+    /// order, so downstream edge-feature alignment goes through this list.
+    pub interactions: Vec<(u32, u32)>,
+    /// Star rating in `1..=5` per interaction: skewed high when the item's
+    /// class matches the user's preference, low otherwise — the link
+    /// attribute carries class signal that node features alone don't.
+    pub edge_ratings: Vec<u8>,
+    /// Timestamp bucket in `0..time_buckets` per interaction.
+    pub edge_time_buckets: Vec<u8>,
 }
 
 /// Generate the bipartite user–item graph.
 pub fn bipartite_user_item(cfg: &BipartiteConfig, rng: &mut TensorRng) -> BipartiteGraph {
     assert!(cfg.classes >= 1 && cfg.items >= cfg.classes, "bipartite: sizes");
+    assert!(
+        (1..=256).contains(&cfg.time_buckets),
+        "bipartite: time_buckets must be in 1..=256"
+    );
     let mut item_labels: Vec<usize> = (0..cfg.items).map(|i| i % cfg.classes).collect();
     rng.shuffle(&mut item_labels);
     let item_popularity: Vec<f64> = (0..cfg.items)
@@ -215,6 +232,8 @@ pub fn bipartite_user_item(cfg: &BipartiteConfig, rng: &mut TensorRng) -> Bipart
     let user_prefs: Vec<usize> = (0..cfg.users).map(|_| rng.index(cfg.classes)).collect();
     let n = cfg.items + cfg.users;
     let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut edge_ratings: Vec<u8> = Vec::new();
+    let mut edge_time_buckets: Vec<u8> = Vec::new();
     let mut seen: HashSet<(u32, u32)> = HashSet::new();
     for (u, &pref) in user_prefs.iter().enumerate() {
         let user_node = (cfg.items + u) as u32;
@@ -233,6 +252,16 @@ pub fn bipartite_user_item(cfg: &BipartiteConfig, rng: &mut TensorRng) -> Bipart
             };
             if seen.insert((item, user_node)) {
                 edges.push((item, user_node));
+                // In-preference interactions rate 3..=5, off-preference
+                // 1..=3 — the rating is the attribute that separates "my
+                // kind of item" from "globally hot item I bounced off".
+                let rating = if item_labels[item as usize] == pref {
+                    3 + rng.index(3) as u8
+                } else {
+                    1 + rng.index(3) as u8
+                };
+                edge_ratings.push(rating);
+                edge_time_buckets.push(rng.index(cfg.time_buckets) as u8);
                 added += 1;
             }
         }
@@ -242,6 +271,9 @@ pub fn bipartite_user_item(cfg: &BipartiteConfig, rng: &mut TensorRng) -> Bipart
         item_labels,
         user_prefs,
         item_popularity,
+        interactions: edges,
+        edge_ratings,
+        edge_time_buckets,
     }
 }
 
@@ -345,6 +377,7 @@ mod tests {
                 avg_user_degree: 5.0,
                 popularity_exponent: 2.0,
                 user_focus: 0.8,
+                time_buckets: 8,
             },
             &mut rng,
         );
@@ -354,6 +387,42 @@ mod tests {
         // Bipartite: every edge joins an item (< 300) and a user (≥ 300).
         for &(u, v) in b.graph.edges() {
             assert!((u as usize) < 300 && (v as usize) >= 300);
+        }
+    }
+
+    #[test]
+    fn bipartite_edge_attributes_are_seed_stable_and_in_range() {
+        let cfg = BipartiteConfig {
+            items: 200,
+            users: 150,
+            classes: 5,
+            avg_user_degree: 4.0,
+            popularity_exponent: 2.0,
+            user_focus: 0.75,
+            time_buckets: 12,
+        };
+        let a = bipartite_user_item(&cfg, &mut TensorRng::seed_from_u64(11));
+        let b = bipartite_user_item(&cfg, &mut TensorRng::seed_from_u64(11));
+        // Same seed → bitwise-identical structure AND attributes.
+        assert_eq!(a.interactions, b.interactions);
+        assert_eq!(a.edge_ratings, b.edge_ratings);
+        assert_eq!(a.edge_time_buckets, b.edge_time_buckets);
+        assert_eq!(a.interactions.len(), a.graph.num_edges());
+        assert_eq!(a.edge_ratings.len(), a.interactions.len());
+        assert_eq!(a.edge_time_buckets.len(), a.interactions.len());
+        for (&r, &t) in a.edge_ratings.iter().zip(&a.edge_time_buckets) {
+            assert!((1..=5).contains(&r), "rating {r} out of range");
+            assert!((t as usize) < 12, "bucket {t} out of range");
+        }
+        // Ratings carry the class signal: in-preference edges rate 3..=5.
+        for (e, &(item, user)) in a.interactions.iter().enumerate() {
+            let pref = a.user_prefs[user as usize - 200];
+            let rating = a.edge_ratings[e];
+            if a.item_labels[item as usize] == pref {
+                assert!(rating >= 3, "in-pref edge rated {rating}");
+            } else {
+                assert!(rating <= 3, "off-pref edge rated {rating}");
+            }
         }
     }
 
@@ -368,6 +437,7 @@ mod tests {
                 avg_user_degree: 6.0,
                 popularity_exponent: 1.8,
                 user_focus: 0.7,
+                time_buckets: 8,
             },
             &mut rng,
         );

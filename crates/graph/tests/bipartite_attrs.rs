@@ -1,0 +1,39 @@
+//! Property suite for the bipartite generator's per-edge attributes: same
+//! seed must mean bitwise-identical structure and attributes for any config,
+//! and the attribute vectors must stay aligned with the interaction list.
+
+use lasagne_graph::generators::{bipartite_user_item, BipartiteConfig};
+use lasagne_tensor::TensorRng;
+use lasagne_testkit::{prop_assert, prop_assert_eq, prop_check};
+
+prop_check! {
+    cases = 64,
+    fn same_seed_is_bitwise_stable(
+        seed in 0u64..10_000,
+        items in 20usize..120,
+        users in 10usize..100,
+        buckets in 1usize..32
+    ) {
+        let cfg = BipartiteConfig {
+            items,
+            users,
+            classes: 4,
+            avg_user_degree: 3.0,
+            popularity_exponent: 2.0,
+            user_focus: 0.7,
+            time_buckets: buckets,
+        };
+        let a = bipartite_user_item(&cfg, &mut TensorRng::seed_from_u64(seed));
+        let b = bipartite_user_item(&cfg, &mut TensorRng::seed_from_u64(seed));
+        prop_assert_eq!(a.graph.edges(), b.graph.edges());
+        prop_assert_eq!(&a.interactions, &b.interactions);
+        prop_assert_eq!(&a.edge_ratings, &b.edge_ratings);
+        prop_assert_eq!(&a.edge_time_buckets, &b.edge_time_buckets);
+        // One attribute pair per interaction, each in its declared range.
+        prop_assert_eq!(a.interactions.len(), a.graph.num_edges());
+        prop_assert_eq!(a.edge_ratings.len(), a.interactions.len());
+        prop_assert_eq!(a.edge_time_buckets.len(), a.interactions.len());
+        prop_assert!(a.edge_ratings.iter().all(|&r| (1..=5).contains(&r)));
+        prop_assert!(a.edge_time_buckets.iter().all(|&t| (t as usize) < buckets));
+    }
+}

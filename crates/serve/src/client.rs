@@ -128,6 +128,12 @@ impl Client {
         Err(ServeError::BadRequest(format!("server error [{kind}]: {message}")))
     }
 
+    /// Top-`k` item recommendations for user node `node`. Returns the full
+    /// response; its `items` array carries `{item, score}` pairs best-first.
+    pub fn recommend(&mut self, node: usize, k: usize) -> ServeResult<Json> {
+        self.call_ok(&Request::Recommend { node, k })
+    }
+
     /// Insert undirected edge `u — v` into the live graph.
     pub fn add_edge(&mut self, u: usize, v: usize) -> ServeResult<Json> {
         self.call_ok(&Request::AddEdge { u, v })

@@ -20,7 +20,7 @@ use lasagne_sparse::Csr;
 use lasagne_tensor::Tensor;
 
 use crate::error::{ServeError, ServeResult};
-use crate::frozen::{FrozenMeta, FrozenModel, FrozenWeight};
+use crate::frozen::{FrozenMeta, FrozenModel, FrozenRec, FrozenWeight};
 use crate::quant::QuantMatrix;
 use crate::streaming::StreamingState;
 
@@ -167,6 +167,10 @@ pub struct Engine {
     /// Whether the loaded file carried quantized weights (approximate
     /// logits, DESIGN.md §13). Surfaced in `stats`.
     pub(crate) quantized: bool,
+    /// Recommendation binding (bipartite layout + interaction mask);
+    /// `None` for node-classification artifacts, which answer `recommend`
+    /// with a typed `not_a_recommender` error.
+    pub(crate) rec: Option<FrozenRec>,
 }
 
 /// Decide which quantized weights stay compressed (fused into the matmul
@@ -244,6 +248,17 @@ impl Engine {
                     .into(),
             ));
         }
+        if quantized && frozen.rec.is_some() {
+            // Same contract for recommendations: `recommend` promises
+            // bitwise parity with the training-path evaluator, which
+            // quantized logits cannot deliver. `quantize` strips the block.
+            return Err(ServeError::Mismatch(
+                "quantized frozen models do not carry a recommendation binding \
+                 (serve the exact f32 artifact for `recommend`)"
+                    .into(),
+            ));
+        }
+        let rec = frozen.rec;
         let sparse: Vec<&Csr> = frozen.program.sparse.iter().map(|m| &**m).collect();
         let (weights, quant) =
             quant_binding(&frozen.program.ops, frozen.program.output, &frozen.weights);
@@ -262,7 +277,7 @@ impl Engine {
             Some(g) => Some(StreamingState::new(frozen.program, g, weights, values)?),
             None => None,
         };
-        Ok(Engine { meta: frozen.meta, logits, probs, streaming, quantized })
+        Ok(Engine { meta: frozen.meta, logits, probs, streaming, quantized, rec })
     }
 
     /// Whether this engine serves approximate (quantized-weight) logits.
@@ -331,5 +346,57 @@ impl Engine {
         });
         ranked.truncate(k.min(self.meta.num_classes));
         Ok(ranked)
+    }
+
+    /// Whether the loaded file carried a recommendation binding (bipartite
+    /// layout + interaction mask), i.e. whether `recommend` will answer.
+    pub fn is_recommender(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Top-`k` item recommendations for user node `node`, best first.
+    ///
+    /// Scores every item the user has *not* interacted with (the frozen
+    /// interaction mask hides training items) as the dot product of the
+    /// user's and the item's embedding rows from the propagation cache.
+    /// The accumulation order (ascending index) and the ranking order
+    /// (score descending via `total_cmp`, ties to the lower item id) are
+    /// the exact contract of `lasagne_datasets::{dot_score, sort_ranked}`,
+    /// so serving-side rankings are bitwise-reproducible against the
+    /// training-side evaluator.
+    pub fn recommend(&self, node: usize, k: usize) -> ServeResult<Vec<(usize, f32)>> {
+        let rec = self.rec.as_ref().ok_or_else(|| ServeError::NotARecommender {
+            reason: format!(
+                "model '{}' was frozen without a recommendation binding \
+                 (predict/top_k remain available)",
+                self.meta.model
+            ),
+        })?;
+        if node < rec.items || node >= rec.items + rec.users {
+            return Err(ServeError::UnknownUser { node, items: rec.items, users: rec.users });
+        }
+        let mask = rec.interacted.row_indices(node - rec.items);
+        let user_row = self.logits.row(node);
+        let mut scored: Vec<(usize, f32)> = Vec::with_capacity(rec.items - mask.len());
+        for item in 0..rec.items {
+            // `interacted` rows are sorted (CSR invariant), so masking is a
+            // binary search, not a set lookup.
+            if mask.binary_search(&(item as u32)).is_ok() {
+                continue;
+            }
+            let mut acc = 0.0f32;
+            for (x, y) in user_row.iter().zip(self.logits.row(item)) {
+                acc += x * y;
+            }
+            scored.push((item, acc));
+        }
+        if scored.is_empty() {
+            return Err(ServeError::NoCandidates { node });
+        }
+        lasagne_obs::counter_add("serve.recommend", 1);
+        lasagne_obs::counter_add("rec.candidates", scored.len() as u64);
+        scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        Ok(scored)
     }
 }

@@ -70,6 +70,29 @@ pub enum ServeError {
     Draining,
     /// A client-side read/write deadline elapsed before the server answered.
     Timeout(String),
+    /// `recommend` against a model with no recommendation binding (a
+    /// node-classification artifact, a quantized export, or a lazy
+    /// partitioned engine) — refused typed instead of ranking garbage
+    /// class logits as if they were item scores.
+    NotARecommender {
+        /// Why this engine cannot recommend.
+        reason: String,
+    },
+    /// `recommend` for a node id that is not a user node of the bipartite
+    /// layout (items and out-of-range ids both land here).
+    UnknownUser {
+        /// The requested node id.
+        node: usize,
+        /// Item-node count (`0..items` are items).
+        items: usize,
+        /// User-node count (`items..items+users` are users).
+        users: usize,
+    },
+    /// Every item is masked for this user — nothing left to recommend.
+    NoCandidates {
+        /// The requesting user node.
+        node: usize,
+    },
 }
 
 impl ServeError {
@@ -91,6 +114,9 @@ impl ServeError {
             ServeError::TooManyConnections { .. } => "too_many_connections",
             ServeError::Draining => "draining",
             ServeError::Timeout(_) => "timeout",
+            ServeError::NotARecommender { .. } => "not_a_recommender",
+            ServeError::UnknownUser { .. } => "unknown_user",
+            ServeError::NoCandidates { .. } => "no_candidates",
         }
     }
 }
@@ -125,6 +151,19 @@ impl fmt::Display for ServeError {
             }
             ServeError::Draining => write!(f, "server is draining for shutdown"),
             ServeError::Timeout(m) => write!(f, "timeout: {m}"),
+            ServeError::NotARecommender { reason } => {
+                write!(f, "not a recommender: {reason}")
+            }
+            ServeError::UnknownUser { node, items, users } => {
+                write!(
+                    f,
+                    "node {node} is not a user (users are {items}..{} in this bipartite layout)",
+                    items + users
+                )
+            }
+            ServeError::NoCandidates { node } => {
+                write!(f, "no candidate items left for user {node}: everything is masked")
+            }
         }
     }
 }

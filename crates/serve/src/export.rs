@@ -15,7 +15,7 @@ use lasagne_tensor::TensorRng;
 use lasagne_autograd::{ProgramOp, Tape};
 
 use crate::error::ServeResult;
-use crate::frozen::{FrozenGraph, FrozenMeta, FrozenModel, FrozenWeight, SparseKind};
+use crate::frozen::{FrozenGraph, FrozenMeta, FrozenModel, FrozenRec, FrozenWeight, SparseKind};
 
 /// Export `model`'s eval forward on `ctx` as a frozen inference artifact.
 /// `dataset` is recorded as provenance (e.g. `"cora"`).
@@ -56,6 +56,7 @@ pub fn freeze(
             weights,
             program,
             graph: None,
+            rec: None,
         });
     }
     let kinds = program
@@ -93,5 +94,38 @@ pub fn freeze(
         weights,
         program,
         graph: Some(graph),
+        rec: None,
     })
+}
+
+/// Like [`freeze`], additionally attaching the recommendation binding that
+/// activates the `recommend` verb: the bipartite layout and the
+/// `users×items` training-interaction mask. Shapes are validated against
+/// the context before anything is exported.
+pub fn freeze_rec(
+    model: &dyn NodeClassifier,
+    ctx: &GraphContext,
+    dataset: &str,
+    rec: FrozenRec,
+) -> ServeResult<FrozenModel> {
+    if rec.items + rec.users != ctx.num_nodes() {
+        return Err(crate::error::ServeError::Export(format!(
+            "freeze_rec: {} items + {} users != {} context nodes",
+            rec.items,
+            rec.users,
+            ctx.num_nodes()
+        )));
+    }
+    if rec.interacted.rows() != rec.users || rec.interacted.cols() != rec.items {
+        return Err(crate::error::ServeError::Export(format!(
+            "freeze_rec: interacted matrix is {}x{}, expected {}x{}",
+            rec.interacted.rows(),
+            rec.interacted.cols(),
+            rec.users,
+            rec.items
+        )));
+    }
+    let mut frozen = freeze(model, ctx, dataset)?;
+    frozen.rec = Some(rec);
+    Ok(frozen)
 }

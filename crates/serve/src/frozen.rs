@@ -129,6 +129,21 @@ impl FrozenWeight {
     }
 }
 
+/// The recommendation binding (DESIGN.md §15): bipartite layout plus the
+/// training-interaction mask the `recommend` verb uses to exclude items the
+/// user has already consumed. Models without this block answer `recommend`
+/// with a typed `not_a_recommender` refusal.
+#[derive(Debug, Clone)]
+pub struct FrozenRec {
+    /// Item-node count — nodes `0..items` are items.
+    pub items: usize,
+    /// User-node count — nodes `items..items+users` are users.
+    pub users: usize,
+    /// `users×items` binary training-interaction matrix (row `u` lists the
+    /// items user node `items+u` interacted with).
+    pub interacted: Csr,
+}
+
 /// A self-contained inference artifact: metadata, weights, and the exported
 /// eval-forward program.
 #[derive(Clone)]
@@ -142,6 +157,8 @@ pub struct FrozenModel {
     pub program: Program,
     /// Graph binding for streaming mutations; `None` on pre-streaming files.
     pub graph: Option<FrozenGraph>,
+    /// Recommendation binding; `None` on node-classification artifacts.
+    pub rec: Option<FrozenRec>,
 }
 
 fn num(v: usize) -> Json {
@@ -482,6 +499,33 @@ fn graph_from_json(j: &Json, ops: &[ProgramOp], n_sparse: usize) -> ServeResult<
     Ok(FrozenGraph { adjacency, kinds, features_ops })
 }
 
+fn rec_to_json(r: &FrozenRec) -> Json {
+    Json::Obj(vec![
+        ("items".into(), num(r.items)),
+        ("users".into(), num(r.users)),
+        ("interacted".into(), csr_to_json(&r.interacted)),
+    ])
+}
+
+fn rec_from_json(j: &Json, num_nodes: usize) -> ServeResult<FrozenRec> {
+    let items = usize_field(j, "items", "rec")?;
+    let users = usize_field(j, "users", "rec")?;
+    let interacted = csr_from_json(field(j, "interacted", "rec")?)?;
+    if items + users != num_nodes {
+        return Err(ServeError::Mismatch(format!(
+            "rec: {items} items + {users} users != {num_nodes} nodes"
+        )));
+    }
+    if interacted.rows() != users || interacted.cols() != items {
+        return Err(ServeError::Mismatch(format!(
+            "rec: interacted matrix is {}x{}, expected {users}x{items}",
+            interacted.rows(),
+            interacted.cols()
+        )));
+    }
+    Ok(FrozenRec { items, users, interacted })
+}
+
 impl FrozenModel {
     /// Serialize into the envelope body (`"kind":"frozen_model"`).
     pub fn to_json(&self) -> Json {
@@ -532,6 +576,9 @@ impl FrozenModel {
         ];
         if let Some(g) = &self.graph {
             fields.push(("graph".into(), graph_to_json(g)));
+        }
+        if let Some(r) = &self.rec {
+            fields.push(("rec".into(), rec_to_json(r)));
         }
         Json::Obj(fields)
     }
@@ -589,7 +636,11 @@ impl FrozenModel {
             Some(g) => Some(graph_from_json(g, &ops, sparse.len())?),
             None => None,
         };
-        Ok(FrozenModel { meta, weights, program: Program { ops, sparse, output }, graph })
+        let rec = match body.get("rec") {
+            Some(r) => Some(rec_from_json(r, meta.num_nodes)?),
+            None => None,
+        };
+        Ok(FrozenModel { meta, weights, program: Program { ops, sparse, output }, graph, rec })
     }
 
     /// Write to `path` under the checksum envelope, atomically. The output is
@@ -646,6 +697,10 @@ impl FrozenModel {
             ));
         }
         self.graph = None;
+        // Quantized logits are approximate, so dot-product rankings would
+        // drift from the exact artifact's — the recommend surface claims
+        // bitwise parity with training eval, so it is exact-only.
+        self.rec = None;
         Ok(self)
     }
 }

@@ -58,12 +58,12 @@ pub use client::Client;
 pub use engine::{evaluate_program, Engine, Prediction};
 pub use lazy::LazyEngine;
 pub use error::{ServeError, ServeResult};
-pub use export::freeze;
-pub use frozen::{FrozenGraph, FrozenMeta, FrozenModel, FrozenWeight, SparseKind};
+pub use export::{freeze, freeze_rec};
+pub use frozen::{FrozenGraph, FrozenMeta, FrozenModel, FrozenRec, FrozenWeight, SparseKind};
 pub use protocol::{
     debug_sleep_response, error_response, error_response_versioned, health_response,
-    mutation_response, predict_response, shutdown_response, stats_response, swap_response,
-    top_k_response, Request, StatsSnapshot,
+    mutation_response, predict_response, recommend_response, shutdown_response, stats_response,
+    swap_response, top_k_response, Request, StatsSnapshot,
 };
 pub use quant::{QuantMatrix, QuantMode};
 pub use server::{Server, ServerConfig, ServerEngine};

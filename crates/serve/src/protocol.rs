@@ -29,6 +29,14 @@ pub enum Request {
         /// How many classes to return.
         k: usize,
     },
+    /// Top-`k` item recommendations for one user node (models frozen with
+    /// a recommendation binding only).
+    Recommend {
+        /// User node id (`items..items+users` in the bipartite layout).
+        node: usize,
+        /// How many items to return.
+        k: usize,
+    },
     /// Insert undirected edge `u — v` into the live graph.
     AddEdge {
         /// One endpoint.
@@ -98,6 +106,15 @@ impl Request {
                 }
                 Ok(Request::TopK { node: node(&doc)?, k })
             }
+            "recommend" => {
+                let k = doc.get("k").and_then(Json::as_usize).ok_or_else(|| {
+                    ServeError::BadRequest("'recommend' needs integer field 'k'".into())
+                })?;
+                if k == 0 {
+                    return Err(ServeError::BadRequest("'recommend' needs k >= 1".into()));
+                }
+                Ok(Request::Recommend { node: node(&doc)?, k })
+            }
             "add_edge" | "remove_edge" => {
                 let end = |field: &str| -> ServeResult<usize> {
                     doc.get(field).and_then(Json::as_usize).ok_or_else(|| {
@@ -149,6 +166,11 @@ impl Request {
             ],
             Request::TopK { node, k } => vec![
                 ("op".to_string(), Json::Str("top_k".into())),
+                ("node".to_string(), Json::Num(*node as f64)),
+                ("k".to_string(), Json::Num(*k as f64)),
+            ],
+            Request::Recommend { node, k } => vec![
+                ("op".to_string(), Json::Str("recommend".into())),
                 ("node".to_string(), Json::Num(*node as f64)),
                 ("k".to_string(), Json::Num(*k as f64)),
             ],
@@ -260,6 +282,32 @@ pub fn top_k_response(node: usize, ranked: &[(usize, f32)], version: u64) -> Str
     .to_string()
 }
 
+/// `recommend` success response line. Scores are raw dot products of
+/// embedding rows (not probabilities) — useful for thresholding and for
+/// bitwise comparison against the training-side evaluator.
+pub fn recommend_response(node: usize, ranked: &[(usize, f32)], version: u64) -> String {
+    Json::Obj(vec![
+        ok_head(),
+        version_field(version),
+        ("node".into(), Json::Num(node as f64)),
+        (
+            "items".into(),
+            Json::Arr(
+                ranked
+                    .iter()
+                    .map(|&(item, score)| {
+                        Json::Obj(vec![
+                            ("item".into(), Json::Num(item as f64)),
+                            ("score".into(), Json::Num(score as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string()
+}
+
 /// `health` response line (includes the model identity so probes double as
 /// a deployment sanity check). `status` is the degradation state machine of
 /// DESIGN.md §12: `ok` | `degraded` | `draining`.
@@ -362,6 +410,10 @@ pub fn error_response_versioned(e: &ServeError, version: Option<u64>) -> String 
         }
         ServeError::RequestTooLarge { limit } | ServeError::TooManyConnections { limit } => {
             error.push(("limit".into(), Json::Num(*limit as f64)));
+        }
+        ServeError::UnknownUser { items, users, .. } => {
+            error.push(("items".into(), Json::Num(*items as f64)));
+            error.push(("users".into(), Json::Num(*users as f64)));
         }
         _ => {}
     }

@@ -56,8 +56,8 @@ use crate::frozen::FrozenMeta;
 use crate::lazy::LazyEngine;
 use crate::protocol::{
     debug_sleep_response, error_response, error_response_versioned, health_response,
-    mutation_response, predict_response, shutdown_response, stats_response, swap_response,
-    top_k_response, Request, StatsSnapshot,
+    mutation_response, predict_response, recommend_response, shutdown_response, stats_response,
+    swap_response, top_k_response, Request, StatsSnapshot,
 };
 use crate::streaming::{Mutation, MutationReport};
 
@@ -120,6 +120,19 @@ impl ServerEngine {
         match self {
             ServerEngine::Resident(e) => e.top_k(node, k),
             ServerEngine::Lazy(e) => e.top_k(node, k),
+        }
+    }
+
+    fn recommend(&mut self, node: usize, k: usize) -> ServeResult<Vec<(usize, f32)>> {
+        match self {
+            ServerEngine::Resident(e) => e.recommend(node, k),
+            // A lazy engine pages logits per partition and never holds the
+            // whole-graph embedding table a dot-product ranking needs.
+            ServerEngine::Lazy(_) => Err(ServeError::NotARecommender {
+                reason: "partition-lazy serving has no recommendation state \
+                         (serve the resident artifact for `recommend`)"
+                    .into(),
+            }),
         }
     }
 
@@ -855,6 +868,10 @@ fn handle_model_request(
         },
         Request::TopK { node, k } => match engine.top_k(*node, *k) {
             Ok(ranked) => top_k_response(*node, &ranked, version),
+            Err(e) => error_response_versioned(&e, Some(version)),
+        },
+        Request::Recommend { node, k } => match engine.recommend(*node, *k) {
+            Ok(ranked) => recommend_response(*node, &ranked, version),
             Err(e) => error_response_versioned(&e, Some(version)),
         },
         Request::AddEdge { u, v } => mutate(engine, "add_edge", Mutation::AddEdge { u: *u, v: *v }),

@@ -16,9 +16,10 @@ use std::rc::Rc;
 use lasagne_autograd::{Adam, Optimizer, Tape};
 use lasagne_core::{AggregatorKind, Lasagne, LasagneConfig};
 use lasagne_gnn::{models, GraphContext, Hyper, Mode, NodeClassifier};
-use lasagne_graph::generators::{dc_sbm, DcSbmConfig};
+use lasagne_graph::generators::{bipartite_user_item, dc_sbm, BipartiteConfig, DcSbmConfig};
 use lasagne_serve::{freeze, Engine, FrozenModel};
-use lasagne_tensor::TensorRng;
+use lasagne_sparse::EdgeData;
+use lasagne_tensor::{Tensor, TensorRng};
 
 const IN_DIM: usize = 6;
 const CLASSES: usize = 3;
@@ -204,6 +205,67 @@ fn trained_lasagne_maxpool_frozen_bitwise() {
     let mut model = lasagne_model(AggregatorKind::MaxPooling, ctx.num_nodes());
     train_epochs(model.as_mut(), &ctx, &train, 2);
     assert_frozen_matches("Lasagne-MaxPooling-trained", model.as_ref(), &ctx);
+}
+
+/// Bipartite user–item context with per-edge (rating, recency) features —
+/// the edge-gated model's native habitat. Same attribute encoding as
+/// `lasagne_datasets::RecDataset`.
+fn tiny_edge_ctx(seed: u64) -> (GraphContext, Vec<usize>) {
+    let mut rng = TensorRng::seed_from_u64(seed);
+    let items = 18usize;
+    let buckets = 4usize;
+    let b = bipartite_user_item(
+        &BipartiteConfig {
+            items,
+            users: 12,
+            classes: CLASSES,
+            avg_user_degree: 3.0,
+            popularity_exponent: 2.0,
+            user_focus: 0.8,
+            time_buckets: buckets,
+        },
+        &mut rng,
+    );
+    let n = b.graph.num_nodes();
+    let centroids = rng.normal_tensor(CLASSES, IN_DIM, 0.0, 0.6);
+    let mut features = Tensor::zeros(n, IN_DIM);
+    let mut labels = vec![0usize; n];
+    for v in 0..n {
+        labels[v] = if v < items { b.item_labels[v] } else { b.user_prefs[v - items] };
+        for (x, &mu) in features.row_mut(v).iter_mut().zip(centroids.row(labels[v])) {
+            *x = mu + 0.3 * rng.normal();
+        }
+    }
+    let attrs: std::collections::HashMap<(u32, u32), (u8, u8)> = b
+        .interactions
+        .iter()
+        .enumerate()
+        .map(|(e, &(i, u))| ((i, u), (b.edge_ratings[e], b.edge_time_buckets[e])))
+        .collect();
+    let edges = EdgeData::for_csr(b.graph.adjacency(), 2, |r, c, out| {
+        let key = if (r as usize) < items { (r, c) } else { (c, r) };
+        let (rating, bucket) = attrs[&key];
+        out[0] = (rating as f32 - 3.0) / 2.0;
+        out[1] = bucket as f32 / (buckets - 1) as f32 - 0.5;
+    });
+    let ctx = GraphContext::with_edge_data(&b.graph, features, labels, CLASSES, &edges)
+        .expect("edge data aligned by construction");
+    (ctx, (0..items / 2).collect())
+}
+
+#[test]
+fn edgegated_frozen_bitwise() {
+    let (ctx, _) = tiny_edge_ctx(11);
+    let model = models::EdgeGatedGcn::new(IN_DIM, CLASSES, 2, &tiny_hyper(), 5);
+    assert_frozen_matches("EdgeGatedGCN", &model, &ctx);
+}
+
+#[test]
+fn trained_edgegated_frozen_bitwise() {
+    let (ctx, train) = tiny_edge_ctx(11);
+    let mut model = models::EdgeGatedGcn::new(IN_DIM, CLASSES, 2, &tiny_hyper(), 5);
+    train_epochs(&mut model, &ctx, &train, 2);
+    assert_frozen_matches("EdgeGatedGCN-trained", &model, &ctx);
 }
 
 #[test]

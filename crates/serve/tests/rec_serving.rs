@@ -1,0 +1,320 @@
+//! The recommendation-serving contract (DESIGN.md §15):
+//!
+//! 1. `Engine::recommend` reproduces the training-side ranker
+//!    (`RecDataset::score_topk` over tape-path eval logits) **bitwise** —
+//!    same items, same scores — at 1 and 4 `lasagne-par` threads.
+//! 2. The `rec` block survives save → load byte-deterministically.
+//! 3. Every misuse fails typed: items and out-of-range ids are
+//!    `unknown_user`, a fully-masked user is `no_candidates`, a
+//!    node-classification artifact is `not_a_recommender`, `k = 0` is a
+//!    `bad_request` at the protocol layer, and `quantize` strips the
+//!    binding rather than serving approximate scores as exact.
+//! 4. The wire path (`recommend` verb over a live TCP server) agrees with
+//!    the in-process engine and enforces the same typed errors.
+
+use std::rc::Rc;
+
+use lasagne_autograd::{Adam, Optimizer, Tape};
+use lasagne_datasets::{dot_score, sort_ranked, RecConfig, RecDataset};
+use lasagne_gnn::{models, GraphContext, Hyper, Mode, NodeClassifier};
+use lasagne_serve::{
+    freeze, freeze_rec, Client, Engine, FrozenModel, FrozenRec, QuantMode, Request, ServeError,
+    Server, ServerConfig,
+};
+use lasagne_sparse::Csr;
+use lasagne_tensor::TensorRng;
+use lasagne_testkit::Json;
+
+fn small_cfg() -> RecConfig {
+    RecConfig {
+        items: 60,
+        users: 40,
+        classes: 4,
+        // 16×4 first-layer weight keeps `quantize` eligible (≥ 64 elems).
+        features: 16,
+        avg_user_degree: 4.0,
+        time_buckets: 6,
+        ..RecConfig::default()
+    }
+}
+
+fn rec_ctx(ds: &RecDataset) -> GraphContext {
+    GraphContext::with_edge_data(
+        &ds.graph,
+        ds.features.clone(),
+        ds.labels.clone(),
+        ds.num_classes,
+        &ds.edge_data,
+    )
+    .expect("rec dataset edge data is aligned by construction")
+}
+
+fn tiny_hyper() -> Hyper {
+    Hyper { hidden: 4, depth: 2, dropout_keep: 1.0, ..Hyper::default() }
+}
+
+/// An edge-gated model trained for two epochs on the item-classification
+/// loss — enough to move weights off their init so the equivalence checks
+/// run on non-trivial values.
+fn trained_model(ds: &RecDataset, ctx: &GraphContext) -> models::EdgeGatedGcn {
+    let mut model =
+        models::EdgeGatedGcn::new(ds.features.shape().1, ds.num_classes, ds.edge_dim, &tiny_hyper(), 5);
+    let labels = Rc::new(ds.labels.clone());
+    let idx = Rc::new(ds.train_items.clone());
+    let mut opt = Adam::new(model.store(), 0.01, 5e-4);
+    let mut rng = TensorRng::seed_from_u64(3);
+    for _ in 0..2 {
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, ctx, Mode::Train, &mut rng);
+        let lp = tape.log_softmax(out.logits);
+        let loss = tape.nll_masked(lp, labels.clone(), idx.clone());
+        model.store_mut().zero_grads();
+        tape.backward(loss, model.store_mut());
+        opt.step(model.store_mut());
+    }
+    model
+}
+
+fn frozen_rec_block(ds: &RecDataset) -> FrozenRec {
+    FrozenRec { items: ds.items, users: ds.users, interacted: ds.interacted.clone() }
+}
+
+fn training_logits(model: &dyn NodeClassifier, ctx: &GraphContext) -> lasagne_tensor::Tensor {
+    let mut rng = TensorRng::seed_from_u64(7);
+    let mut tape = Tape::new();
+    let out = model.forward(&mut tape, ctx, Mode::Eval, &mut rng);
+    tape.value(out.logits).clone()
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("lasagne-rec-{name}-{}.json", std::process::id()))
+}
+
+#[test]
+fn recommend_matches_training_side_ranker_bitwise() {
+    let ds = RecDataset::generate(&small_cfg(), 9);
+    let ctx = rec_ctx(&ds);
+    let model = trained_model(&ds, &ctx);
+    let frozen = freeze_rec(&model, &ctx, "rec-tiny", frozen_rec_block(&ds)).expect("freeze_rec");
+    for &threads in &[1usize, 4] {
+        lasagne_par::set_threads(threads);
+        let logits = training_logits(&model, &ctx);
+        let engine = Engine::new(frozen.clone()).expect("engine");
+        assert!(engine.is_recommender());
+        for &(user_node, _) in &ds.holdout {
+            // Item ids agree with the dataset-side ranker...
+            let served = engine.recommend(user_node, 10).expect("recommend");
+            let reference = ds.score_topk(&logits, user_node, 10);
+            let served_items: Vec<usize> = served.iter().map(|&(i, _)| i).collect();
+            assert_eq!(
+                served_items, reference,
+                "user {user_node} @ {threads} thread(s): ranking diverged"
+            );
+            // ...and the scores are bitwise the shared dot_score contract.
+            for &(item, score) in &served {
+                let expect = dot_score(logits.row(user_node), logits.row(item));
+                assert_eq!(
+                    score.to_bits(),
+                    expect.to_bits(),
+                    "user {user_node} item {item}: score not bitwise-equal"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rec_block_round_trips_byte_deterministically() {
+    let ds = RecDataset::generate(&small_cfg(), 4);
+    let ctx = rec_ctx(&ds);
+    let model = trained_model(&ds, &ctx);
+    let frozen = freeze_rec(&model, &ctx, "rec-tiny", frozen_rec_block(&ds)).expect("freeze_rec");
+    let (a, b) = (temp_path("rt-a"), temp_path("rt-b"));
+    frozen.save(&a).expect("save a");
+    freeze_rec(&model, &ctx, "rec-tiny", frozen_rec_block(&ds))
+        .expect("freeze_rec again")
+        .save(&b)
+        .expect("save b");
+    assert_eq!(
+        std::fs::read(&a).expect("read a"),
+        std::fs::read(&b).expect("read b"),
+        "rec export must be byte-deterministic"
+    );
+    let loaded = Engine::new(FrozenModel::load(&a).expect("load")).expect("engine");
+    let direct = Engine::new(frozen).expect("direct engine");
+    assert!(loaded.is_recommender());
+    let user_node = ds.holdout[0].0;
+    let (from_file, from_mem) =
+        (loaded.recommend(user_node, 10).expect("file"), direct.recommend(user_node, 10).expect("mem"));
+    assert_eq!(from_file.len(), from_mem.len());
+    for (&(ia, sa), &(ib, sb)) in from_file.iter().zip(&from_mem) {
+        assert_eq!(ia, ib);
+        assert_eq!(sa.to_bits(), sb.to_bits(), "round-trip changed a score");
+    }
+    let _ = std::fs::remove_file(a);
+    let _ = std::fs::remove_file(b);
+}
+
+#[test]
+fn recommend_never_returns_masked_or_duplicate_items() {
+    let ds = RecDataset::generate(&small_cfg(), 5);
+    let ctx = rec_ctx(&ds);
+    let model = trained_model(&ds, &ctx);
+    let engine =
+        Engine::new(freeze_rec(&model, &ctx, "rec-tiny", frozen_rec_block(&ds)).expect("freeze"))
+            .expect("engine");
+    for u in 0..ds.users {
+        let node = ds.items + u;
+        let top = engine.recommend(node, 10).expect("recommend");
+        let mask = ds.interacted.row_indices(u);
+        let mut seen = std::collections::HashSet::new();
+        for &(item, _) in &top {
+            assert!(item < ds.items, "user {node}: non-item id {item}");
+            assert!(
+                mask.binary_search(&(item as u32)).is_err(),
+                "user {node}: recommended interacted item {item}"
+            );
+            assert!(seen.insert(item), "user {node}: duplicate item {item}");
+        }
+        // Descending by score, ties to the lower id — re-sorting is a no-op.
+        let mut resorted = top.clone();
+        sort_ranked(&mut resorted);
+        assert_eq!(top, resorted, "user {node}: ranking order violated");
+    }
+}
+
+#[test]
+fn recommend_fails_typed_on_misuse() {
+    let ds = RecDataset::generate(&small_cfg(), 6);
+    let ctx = rec_ctx(&ds);
+    let model = trained_model(&ds, &ctx);
+    let engine =
+        Engine::new(freeze_rec(&model, &ctx, "rec-tiny", frozen_rec_block(&ds)).expect("freeze"))
+            .expect("engine");
+    // An item id and an out-of-range id are both unknown_user.
+    for bad in [0usize, ds.items - 1, ds.num_nodes(), ds.num_nodes() + 100] {
+        let err = engine.recommend(bad, 5).expect_err("must refuse");
+        assert_eq!(err.kind(), "unknown_user", "node {bad}");
+        assert_eq!(
+            err,
+            ServeError::UnknownUser { node: bad, items: ds.items, users: ds.users }
+        );
+    }
+    // A user whose mask covers every item has nothing left to rank.
+    let full_row: Vec<(u32, u32, f32)> = (0..ds.items as u32).map(|i| (0, i, 1.0)).collect();
+    let all_masked = FrozenRec {
+        items: ds.items,
+        users: ds.users,
+        interacted: Csr::from_coo(ds.users, ds.items, &full_row),
+    };
+    let engine2 =
+        Engine::new(freeze_rec(&model, &ctx, "rec-tiny", all_masked).expect("freeze"))
+            .expect("engine");
+    let err = engine2.recommend(ds.items, 5).expect_err("must refuse");
+    assert_eq!(err.kind(), "no_candidates");
+    // A node-classification artifact (no rec block) refuses typed.
+    let plain = Engine::new(freeze(&model, &ctx, "rec-tiny").expect("freeze plain"))
+        .expect("plain engine");
+    assert!(!plain.is_recommender());
+    let err = plain.recommend(ds.items, 5).expect_err("must refuse");
+    assert_eq!(err.kind(), "not_a_recommender");
+}
+
+#[test]
+fn quantize_strips_the_rec_block() {
+    let ds = RecDataset::generate(&small_cfg(), 7);
+    let ctx = rec_ctx(&ds);
+    let model = trained_model(&ds, &ctx);
+    let frozen = freeze_rec(&model, &ctx, "rec-tiny", frozen_rec_block(&ds)).expect("freeze_rec");
+    let quantized = frozen.quantize(QuantMode::I8).expect("quantize");
+    let engine = Engine::new(quantized).expect("quantized engine");
+    assert!(!engine.is_recommender(), "quantize must drop the rec binding");
+    assert_eq!(
+        engine.recommend(ds.items, 5).expect_err("must refuse").kind(),
+        "not_a_recommender"
+    );
+    // A hand-crafted file carrying both quantized weights and a rec block
+    // is refused at load — approximate scores must never serve as exact.
+    let mut doctored =
+        freeze_rec(&model, &ctx, "rec-tiny", frozen_rec_block(&ds)).expect("freeze_rec");
+    doctored = doctored.quantize(QuantMode::I8).expect("quantize");
+    doctored.rec = Some(frozen_rec_block(&ds));
+    let err = match Engine::new(doctored) {
+        Err(e) => e,
+        Ok(_) => panic!("quantized + rec file must be refused at load"),
+    };
+    assert_eq!(err.kind(), "mismatch");
+}
+
+#[test]
+fn recommend_over_the_wire() {
+    let ds = RecDataset::generate(&small_cfg(), 8);
+    let ctx = rec_ctx(&ds);
+    let model = trained_model(&ds, &ctx);
+    let frozen = freeze_rec(&model, &ctx, "rec-tiny", frozen_rec_block(&ds)).expect("freeze_rec");
+    let reference = Engine::new(frozen.clone()).expect("reference engine");
+    let server = Server::start(
+        Engine::new(frozen).expect("engine"),
+        ServerConfig { addr: "127.0.0.1:0".into(), ..ServerConfig::default() },
+    )
+    .expect("server start");
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Happy path agrees with the in-process engine, items and scores.
+    let user_node = ds.holdout[0].0;
+    let doc = client.recommend(user_node, 10).expect("recommend");
+    let items = doc.get("items").and_then(Json::as_arr).expect("items array");
+    let expect = reference.recommend(user_node, 10).expect("reference");
+    assert_eq!(items.len(), expect.len());
+    for (entry, &(item, score)) in items.iter().zip(&expect) {
+        assert_eq!(entry.get("item").and_then(Json::as_usize), Some(item));
+        let wire_score = entry.get("score").and_then(Json::as_f64).expect("score") as f32;
+        assert_eq!(wire_score.to_bits(), score.to_bits(), "score drifted over the wire");
+    }
+
+    // k = 0 is rejected at parse time with a typed bad_request.
+    let raw = client
+        .roundtrip_raw(&format!("{{\"op\":\"recommend\",\"node\":{user_node},\"k\":0}}"))
+        .expect("roundtrip");
+    let doc = Json::parse(&raw).expect("parse");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        doc.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("bad_request")
+    );
+
+    // An item id comes back unknown_user with the layout as structured hints.
+    let doc = client.call(&Request::Recommend { node: 0, k: 5 }).expect("call");
+    let error = doc.get("error").expect("error object");
+    assert_eq!(error.get("kind").and_then(Json::as_str), Some("unknown_user"));
+    assert_eq!(error.get("items").and_then(Json::as_usize), Some(ds.items));
+    assert_eq!(error.get("users").and_then(Json::as_usize), Some(ds.users));
+
+    // The connection survives all of the above.
+    client.call_ok(&Request::Health).expect("health");
+    client.call_ok(&Request::Shutdown).expect("shutdown ack");
+}
+
+#[test]
+fn classifier_server_refuses_recommend_over_the_wire() {
+    let ds = RecDataset::generate(&small_cfg(), 10);
+    let ctx = rec_ctx(&ds);
+    let model = trained_model(&ds, &ctx);
+    // Frozen WITHOUT the rec block: an ordinary classification artifact.
+    let server = Server::start(
+        Engine::new(freeze(&model, &ctx, "rec-tiny").expect("freeze")).expect("engine"),
+        ServerConfig { addr: "127.0.0.1:0".into(), ..ServerConfig::default() },
+    )
+    .expect("server start");
+    let mut client = Client::connect(&server.local_addr().to_string()).expect("connect");
+    let doc = client.call(&Request::Recommend { node: ds.items, k: 5 }).expect("call");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        doc.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("not_a_recommender")
+    );
+    // predict still answers on the same connection.
+    client.call_ok(&Request::Predict { node: 0 }).expect("predict");
+    client.call_ok(&Request::Shutdown).expect("shutdown ack");
+}

@@ -508,6 +508,51 @@ impl Csr {
         }
     }
 
+    /// The flat nnz position of entry `(r, c)`, or `None` if the entry is
+    /// not stored. Requires the column indices of row `r` to be sorted
+    /// ascending, which every workspace constructor guarantees
+    /// ([`Csr::from_coo`] sorts, [`Csr::transpose`] emits rows in order).
+    /// This position is the row index into an aligned edge-feature matrix
+    /// (`EdgeData`), which is why it is exposed.
+    pub fn edge_position(&self, r: u32, c: u32) -> Option<usize> {
+        let i = r as usize;
+        if i >= self.rows {
+            return None;
+        }
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        self.indices[lo..hi]
+            .binary_search(&c)
+            .ok()
+            .map(|off| lo + off)
+    }
+
+    /// For each entry of [`Csr::transpose`], the flat nnz position of the
+    /// source entry it came from: `perm[t]` is the index into this matrix's
+    /// value array whose `(r, c)` lands at transpose position `t`. Runs the
+    /// same counting sort as `transpose()`, so the mapping is exact for any
+    /// aligned side data — `EdgeData::transposed_with` applies it to keep
+    /// edge-feature rows aligned across transposition.
+    pub fn transpose_permutation(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 1..=self.cols {
+            counts[i] += counts[i - 1];
+        }
+        let mut cursor = counts;
+        let mut perm = vec![0usize; self.nnz()];
+        for r in 0..self.rows {
+            for e in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[e] as usize;
+                perm[cursor[c]] = e;
+                cursor[c] += 1;
+            }
+        }
+        perm
+    }
+
     /// Row sums (weighted out-degrees).
     pub fn row_sums(&self) -> Vec<f32> {
         (0..self.rows)

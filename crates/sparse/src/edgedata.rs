@@ -1,0 +1,405 @@
+//! Edge-feature storage aligned to CSR nnz order (DESIGN.md §15).
+//!
+//! An [`EdgeData`] is a dense `nnz x d_e` row-major matrix whose row `e`
+//! holds the feature vector of the `e`-th stored entry of a companion
+//! [`Csr`] — the entry at flat position `e` in the CSR's `indices`/`values`
+//! arrays. Alignment is the whole contract: every structural change to the
+//! companion (transpose, delta compaction, `replace_parts`) must be mirrored
+//! by the matching row permutation here, and every mismatch is a typed
+//! [`EdgeDataError`], never a silent misread.
+//!
+//! [`EdgeDeltaCsr`] pairs a [`DeltaCsr`] with its edge features and keeps
+//! the two consistent through buffered inserts/removes and compaction.
+
+use std::collections::BTreeMap;
+
+use crate::{Csr, DeltaCsr, DeltaError};
+use lasagne_tensor::Tensor;
+
+/// Typed failures of the edge-feature layer. Every variant names the shapes
+/// involved so callers can log without re-deriving state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeDataError {
+    /// A feature row had the wrong width.
+    DimMismatch { expected: usize, got: usize },
+    /// The flat buffer length is not `nnz * dim`.
+    LengthMismatch { nnz: usize, dim: usize, len: usize },
+    /// The edge table and the CSR disagree on entry count — the structure
+    /// drifted without the features following (or vice versa).
+    Misaligned { nnz: usize, edge_rows: usize },
+    /// An edge-row index was out of range.
+    RowOutOfRange { row: usize, nnz: usize },
+    /// A merged CSR entry has no feature row on either side of the delta —
+    /// structure and features have drifted apart.
+    MissingFeature { row: u32, col: u32 },
+    /// The underlying delta buffer refused the structural change.
+    Delta(DeltaError),
+}
+
+impl std::fmt::Display for EdgeDataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeDataError::DimMismatch { expected, got } => {
+                write!(f, "edge feature dim mismatch: expected {expected}, got {got}")
+            }
+            EdgeDataError::LengthMismatch { nnz, dim, len } => {
+                write!(f, "edge data length {len} != nnz {nnz} * dim {dim}")
+            }
+            EdgeDataError::Misaligned { nnz, edge_rows } => {
+                write!(f, "edge data has {edge_rows} rows but companion csr has {nnz} entries")
+            }
+            EdgeDataError::RowOutOfRange { row, nnz } => {
+                write!(f, "edge row {row} out of range for nnz {nnz}")
+            }
+            EdgeDataError::MissingFeature { row, col } => {
+                write!(f, "entry ({row},{col}) has no feature row — structure and edge data drifted")
+            }
+            EdgeDataError::Delta(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeDataError {}
+
+impl From<DeltaError> for EdgeDataError {
+    fn from(e: DeltaError) -> Self {
+        EdgeDataError::Delta(e)
+    }
+}
+
+/// Dense `nnz x dim` edge-feature matrix, row `e` aligned to flat CSR
+/// position `e` of a companion matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeData {
+    nnz: usize,
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl EdgeData {
+    /// All-zero features for `nnz` edges of width `dim`.
+    pub fn zeros(nnz: usize, dim: usize) -> EdgeData {
+        EdgeData { nnz, dim, data: vec![0.0; nnz * dim] }
+    }
+
+    /// Wrap a flat row-major buffer; errors if the length is not `nnz * dim`.
+    pub fn from_flat(nnz: usize, dim: usize, data: Vec<f32>) -> Result<EdgeData, EdgeDataError> {
+        if data.len() != nnz * dim {
+            return Err(EdgeDataError::LengthMismatch { nnz, dim, len: data.len() });
+        }
+        Ok(EdgeData { nnz, dim, data })
+    }
+
+    /// Build features aligned to `csr` by construction: `f(r, c)` is called
+    /// once per stored entry in flat nnz order and must fill `out` (length
+    /// `dim`, pre-zeroed) with that edge's features.
+    pub fn for_csr(csr: &Csr, dim: usize, mut f: impl FnMut(u32, u32, &mut [f32])) -> EdgeData {
+        let mut data = vec![0.0f32; csr.nnz() * dim];
+        let mut e = 0usize;
+        for r in 0..csr.rows() {
+            for &c in csr.row_indices(r) {
+                f(r as u32, c, &mut data[e * dim..(e + 1) * dim]);
+                e += 1;
+            }
+        }
+        EdgeData { nnz: csr.nnz(), dim, data }
+    }
+
+    /// Number of edge rows.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Feature width `d_e`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The feature row of flat edge position `e`.
+    #[inline]
+    pub fn row(&self, e: usize) -> &[f32] {
+        &self.data[e * self.dim..(e + 1) * self.dim]
+    }
+
+    /// Mutable feature row of flat edge position `e`.
+    #[inline]
+    pub fn row_mut(&mut self, e: usize) -> &mut [f32] {
+        &mut self.data[e * self.dim..(e + 1) * self.dim]
+    }
+
+    /// The flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Gather edge rows by flat position, mirroring `Tensor::gather_rows` —
+    /// but typed: an out-of-range index is an error, not a panic, because
+    /// gather indices typically come from a (possibly stale) structure walk.
+    pub fn gather_edge_rows(&self, idx: &[usize]) -> Result<EdgeData, EdgeDataError> {
+        let mut data = Vec::with_capacity(idx.len() * self.dim);
+        for &e in idx {
+            if e >= self.nnz {
+                return Err(EdgeDataError::RowOutOfRange { row: e, nnz: self.nnz });
+            }
+            data.extend_from_slice(self.row(e));
+        }
+        Ok(EdgeData { nnz: idx.len(), dim: self.dim, data })
+    }
+
+    /// Check row-count alignment against a companion CSR.
+    pub fn check_aligned(&self, m: &Csr) -> Result<(), EdgeDataError> {
+        if self.nnz != m.nnz() {
+            return Err(EdgeDataError::Misaligned { nnz: m.nnz(), edge_rows: self.nnz });
+        }
+        Ok(())
+    }
+
+    /// Apply a row permutation: output row `t` is input row `perm[t]`.
+    /// `perm` must index valid rows; its length becomes the new row count.
+    pub fn permuted(&self, perm: &[usize]) -> Result<EdgeData, EdgeDataError> {
+        self.gather_edge_rows(perm)
+    }
+
+    /// The features re-aligned to `m.transpose()`: row `t` of the result is
+    /// the feature row of the source entry that lands at transpose position
+    /// `t`. Errors typed if `self` is not aligned to `m`.
+    pub fn transposed_with(&self, m: &Csr) -> Result<EdgeData, EdgeDataError> {
+        self.check_aligned(m)?;
+        self.permuted(&m.transpose_permutation())
+    }
+
+    /// Densify into an `nnz x dim` tensor (the form the autograd tape
+    /// consumes as a constant).
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(self.nnz, self.dim, self.data.clone())
+            .expect("EdgeData invariant: len == nnz * dim")
+    }
+}
+
+/// A [`DeltaCsr`] whose edges carry features: buffered inserts store their
+/// feature row alongside the value, removes drop it, and
+/// [`EdgeDeltaCsr::to_parts`] / [`EdgeDeltaCsr::compact`] re-emit a clean
+/// `(Csr, EdgeData)` pair with rows aligned to the merged nnz order — or
+/// fail typed if structure and features have drifted.
+#[derive(Debug, Clone)]
+pub struct EdgeDeltaCsr {
+    delta: DeltaCsr,
+    dim: usize,
+    base_edges: EdgeData,
+    pending_feats: BTreeMap<(u32, u32), Vec<f32>>,
+}
+
+impl EdgeDeltaCsr {
+    /// Wrap a base matrix and its aligned edge features. Errors typed on
+    /// misalignment.
+    pub fn new(base: Csr, edges: EdgeData) -> Result<EdgeDeltaCsr, EdgeDataError> {
+        edges.check_aligned(&base)?;
+        let dim = edges.dim();
+        Ok(EdgeDeltaCsr {
+            delta: DeltaCsr::new(base),
+            dim,
+            base_edges: edges,
+            pending_feats: BTreeMap::new(),
+        })
+    }
+
+    /// Rows of the merged view.
+    pub fn rows(&self) -> usize {
+        self.delta.rows()
+    }
+
+    /// Columns of the merged view.
+    pub fn cols(&self) -> usize {
+        self.delta.cols()
+    }
+
+    /// Entry count of the merged view.
+    pub fn nnz(&self) -> usize {
+        self.delta.nnz()
+    }
+
+    /// Feature width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Buffered mutations not yet compacted.
+    pub fn pending(&self) -> usize {
+        self.delta.pending()
+    }
+
+    /// Is entry `(r, c)` present in the merged view?
+    pub fn contains(&self, r: u32, c: u32) -> bool {
+        self.delta.contains(r, c)
+    }
+
+    /// Buffer an edge insert with its feature row. The feature width must
+    /// match; duplicate/out-of-range edges fail typed like [`DeltaCsr`].
+    pub fn insert(&mut self, r: u32, c: u32, v: f32, feat: &[f32]) -> Result<(), EdgeDataError> {
+        if feat.len() != self.dim {
+            return Err(EdgeDataError::DimMismatch { expected: self.dim, got: feat.len() });
+        }
+        self.delta.insert(r, c, v)?;
+        self.pending_feats.insert((r, c), feat.to_vec());
+        Ok(())
+    }
+
+    /// Buffer an edge remove, dropping its buffered feature row if the edge
+    /// was itself a buffered insert.
+    pub fn remove(&mut self, r: u32, c: u32) -> Result<(), EdgeDataError> {
+        self.delta.remove(r, c)?;
+        self.pending_feats.remove(&(r, c));
+        Ok(())
+    }
+
+    /// Grow a square matrix by one empty row/column; returns the new id.
+    pub fn add_node(&mut self) -> usize {
+        self.delta.add_node()
+    }
+
+    /// The feature row of a live edge: a buffered insert's row wins, then the
+    /// base table. Errors typed if the edge is absent or its feature row is
+    /// missing (drift).
+    pub fn feature(&self, r: u32, c: u32) -> Result<&[f32], EdgeDataError> {
+        if let Some(row) = self.pending_feats.get(&(r, c)) {
+            return Ok(row);
+        }
+        if self.delta.contains(r, c) {
+            if let Some(e) = self.delta.base().edge_position(r, c) {
+                return Ok(self.base_edges.row(e));
+            }
+        }
+        Err(EdgeDataError::MissingFeature { row: r, col: c })
+    }
+
+    /// Materialize the merged view as an aligned `(Csr, EdgeData)` pair —
+    /// the CSR is bitwise what [`DeltaCsr::to_csr`] produces, and edge row
+    /// `e` is the feature row of the CSR's `e`-th entry. Fails typed if any
+    /// merged entry lost its features.
+    pub fn to_parts(&self) -> Result<(Csr, EdgeData), EdgeDataError> {
+        let merged = self.delta.to_csr();
+        let mut data = Vec::with_capacity(merged.nnz() * self.dim);
+        for r in 0..merged.rows() {
+            for &c in merged.row_indices(r) {
+                let row = self.feature(r as u32, c)?;
+                data.extend_from_slice(row);
+            }
+        }
+        let edges = EdgeData::from_flat(merged.nnz(), self.dim, data)?;
+        Ok((merged, edges))
+    }
+
+    /// Fold the buffer into the base (structure via [`DeltaCsr::compact`]'s
+    /// `replace_parts` path, features re-emitted in the new nnz order) and
+    /// reset both buffers. Fails typed — leaving the buffer untouched — if
+    /// the merged view has drifted.
+    pub fn compact(&mut self) -> Result<(), EdgeDataError> {
+        let (_, edges) = self.to_parts()?;
+        self.delta.compact();
+        self.base_edges = edges;
+        self.pending_feats.clear();
+        debug_assert!(self.base_edges.check_aligned(self.delta.base()).is_ok());
+        Ok(())
+    }
+
+    /// The compacted base pair (aligned by construction after `compact`).
+    pub fn base(&self) -> (&Csr, &EdgeData) {
+        (self.delta.base(), &self.base_edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Csr {
+        Csr::from_coo(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)])
+    }
+
+    fn tagged(csr: &Csr) -> EdgeData {
+        // Feature = (row, col) so alignment failures are visible as values.
+        EdgeData::for_csr(csr, 2, |r, c, out| {
+            out[0] = r as f32;
+            out[1] = c as f32;
+        })
+    }
+
+    #[test]
+    fn for_csr_aligns_rows_to_flat_positions() {
+        let m = path3();
+        let e = tagged(&m);
+        e.check_aligned(&m).unwrap();
+        let mut flat = 0usize;
+        for r in 0..m.rows() {
+            for &c in m.row_indices(r) {
+                assert_eq!(m.edge_position(r as u32, c), Some(flat));
+                assert_eq!(e.row(flat), &[r as f32, c as f32]);
+                flat += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_with_follows_the_counting_sort() {
+        let m = Csr::from_coo(3, 4, &[(0, 3, 1.0), (1, 0, 2.0), (1, 3, 3.0), (2, 1, 4.0)]);
+        let e = tagged(&m);
+        let t = m.transpose();
+        let et = e.transposed_with(&m).unwrap();
+        et.check_aligned(&t).unwrap();
+        let mut flat = 0usize;
+        for r in 0..t.rows() {
+            for &c in t.row_indices(r) {
+                // Transposed entry (r, c) came from source entry (c, r).
+                assert_eq!(et.row(flat), &[c as f32, r as f32]);
+                flat += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn misalignment_and_bad_shapes_fail_typed() {
+        let m = path3();
+        let e = EdgeData::zeros(m.nnz() + 1, 2);
+        assert_eq!(
+            e.check_aligned(&m),
+            Err(EdgeDataError::Misaligned { nnz: 4, edge_rows: 5 })
+        );
+        assert_eq!(
+            EdgeData::from_flat(3, 2, vec![0.0; 5]),
+            Err(EdgeDataError::LengthMismatch { nnz: 3, dim: 2, len: 5 })
+        );
+        assert_eq!(
+            EdgeData::zeros(2, 2).gather_edge_rows(&[0, 2]),
+            Err(EdgeDataError::RowOutOfRange { row: 2, nnz: 2 })
+        );
+    }
+
+    #[test]
+    fn delta_insert_remove_compact_keeps_alignment() {
+        let m = path3();
+        let e = tagged(&m);
+        let mut d = EdgeDeltaCsr::new(m, e).unwrap();
+        d.insert(0, 2, 9.0, &[0.0, 2.0]).unwrap();
+        d.remove(1, 0).unwrap();
+        assert_eq!(d.feature(0, 2).unwrap(), &[0.0, 2.0]);
+        let (csr, edges) = d.to_parts().unwrap();
+        edges.check_aligned(&csr).unwrap();
+        d.compact().unwrap();
+        let (base, base_edges) = d.base();
+        assert_eq!(base.nnz(), csr.nnz());
+        assert_eq!(base_edges.as_slice(), edges.as_slice());
+    }
+
+    #[test]
+    fn delta_dim_mismatch_fails_typed_and_buffers_nothing() {
+        let m = path3();
+        let mut d = EdgeDeltaCsr::new(m.clone(), tagged(&m)).unwrap();
+        let err = d.insert(0, 2, 1.0, &[1.0]).unwrap_err();
+        assert_eq!(err, EdgeDataError::DimMismatch { expected: 2, got: 1 });
+        assert_eq!(d.pending(), 0);
+        assert!(!d.contains(0, 2));
+    }
+}

@@ -201,4 +201,51 @@ cargo run --release --offline -p lasagne-bench --bin scale-bench -- \
     --smoke --out target/BENCH_scale.smoke.json
 test -s target/BENCH_scale.smoke.json
 
+echo "== rec: edge-data, gated-model, and serving suites at 1 and 4 threads =="
+# The recommendation contract (DESIGN.md §15): edge features stay aligned
+# through deltas and gathers, the gate is gradient-checked, per-edge
+# attributes are bitwise seed-deterministic, and frozen `recommend` is
+# bitwise the training-side ranker at both pool sizes.
+cargo test -q --offline -p lasagne-sparse --test edgedata
+cargo test -q --offline -p lasagne-graph --test bipartite_attrs
+LASAGNE_THREADS=1 cargo test -q --offline -p lasagne-serve --test frozen_forward
+LASAGNE_THREADS=4 cargo test -q --offline -p lasagne-serve --test frozen_forward
+LASAGNE_THREADS=1 cargo test -q --offline -p lasagne-serve --test rec_serving
+LASAGNE_THREADS=4 cargo test -q --offline -p lasagne-serve --test rec_serving
+
+echo "== rec: exported artifact is byte-deterministic =="
+cargo run --release --offline --bin lasagne-cli -- \
+    rec --epochs 3 --export target/verify_rec_a.json > /dev/null
+cargo run --release --offline --bin lasagne-cli -- \
+    rec --epochs 3 --export target/verify_rec_b.json > /dev/null
+cmp target/verify_rec_a.json target/verify_rec_b.json
+
+echo "== rec: live server conforms to the recommend protocol =="
+# The check regenerates the dataset from the same seed and asserts slate
+# shape (sorted, deduped, never a seen item), plus typed refusals for
+# k=0, item ids, and out-of-range nodes — against a real TCP server.
+cargo run --release --offline --bin lasagne-cli -- \
+    serve --frozen target/verify_rec_a.json --port 17882 > /dev/null &
+REC_PID=$!
+cargo run --release --offline -p lasagne-bench --bin rec-bench -- \
+    --check --addr 127.0.0.1:17882 --seed 0
+cargo run --release --offline -p lasagne-bench --bin serve-bench -- \
+    --shutdown --addr 127.0.0.1:17882
+wait "$REC_PID"
+
+echo "== rec: classification server refuses recommend typed =="
+cargo run --release --offline --bin lasagne-cli -- \
+    serve --frozen target/verify_frozen_a.json --port 17883 > /dev/null &
+CLS_PID=$!
+cargo run --release --offline -p lasagne-bench --bin rec-bench -- \
+    --expect-not-recommender --addr 127.0.0.1:17883
+cargo run --release --offline -p lasagne-bench --bin serve-bench -- \
+    --shutdown --addr 127.0.0.1:17883
+wait "$CLS_PID"
+
+echo "== rec bench smoke (hit-rate@10 must beat popularity, JSON artifact) =="
+cargo run --release --offline -p lasagne-bench --bin rec-bench -- \
+    --smoke --out target/BENCH_rec.smoke.json > /dev/null
+test -s target/BENCH_rec.smoke.json
+
 echo "verify: OK"

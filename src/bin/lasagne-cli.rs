@@ -75,6 +75,7 @@ fn usage() -> ! {
     eprintln!("                   [--trace-out PATH] [--trace-summary] [--trace-deterministic]");
     eprintln!("       lasagne-cli serve --frozen PATH [--quantized] [--partitions K] [--port N] [--host ADDR] [--max-batch N] [--compact-every N]");
     eprintln!("                  [--queue-capacity N] [--deadline-ms N] [--max-conns N] [--max-request-bytes N] [--idle-timeout-ms N]");
+    eprintln!("       lasagne-cli rec [--epochs N] [--seed N] [--k N] [--export PATH] [--threads N]");
     eprintln!("       lasagne-cli --list");
     eprintln!("datasets: {}", DatasetId::all().map(|d| d.name()).join(", "));
     eprintln!("models:   {}", MODELS.join(", "));
@@ -299,6 +300,139 @@ fn run_serve(args: ServeArgs) -> ! {
     std::process::exit(0);
 }
 
+/// `lasagne-cli rec ...` settings.
+struct RecArgs {
+    epochs: usize,
+    seed: u64,
+    k: usize,
+    export: Option<std::path::PathBuf>,
+    threads: Option<usize>,
+}
+
+fn parse_rec_args(argv: &[String]) -> RecArgs {
+    let mut args = RecArgs { epochs: 40, seed: 0, k: 10, export: None, threads: None };
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = argv.get(i + 1).unwrap_or_else(|| missing_value(flag));
+        match flag {
+            "--epochs" => args.epochs = value.parse().unwrap_or_else(|_| bad_value(flag, value)),
+            "--seed" => args.seed = value.parse().unwrap_or_else(|_| bad_value(flag, value)),
+            "--k" => args.k = value.parse().unwrap_or_else(|_| bad_value(flag, value)),
+            "--export" => args.export = Some(value.into()),
+            "--threads" => {
+                args.threads = Some(value.parse().unwrap_or_else(|_| bad_value(flag, value)))
+            }
+            other => unknown_flag(other),
+        }
+        i += 2;
+    }
+    args
+}
+
+/// Run the `rec` subcommand: train the edge-gated model on the synthetic
+/// bipartite recommendation dataset (DESIGN.md §15), report leave-one-out
+/// hit-rate@k / NDCG@k against the popularity baseline, and optionally
+/// export a frozen artifact with the recommendation binding for
+/// `lasagne-cli serve`.
+fn run_rec(args: RecArgs) -> ! {
+    if let Some(n) = args.threads {
+        lasagne_par::set_threads(n);
+    }
+    let cfg = lasagne_datasets::RecConfig::demo();
+    let ds = lasagne_datasets::RecDataset::generate(&cfg, args.seed);
+    let ctx = GraphContext::with_edge_data(
+        &ds.graph,
+        ds.features.clone(),
+        ds.labels.clone(),
+        ds.num_classes,
+        &ds.edge_data,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: edge context build: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "rec: {} items x {} users, {} classes, seed {}, {} epochs",
+        ds.items, ds.users, ds.num_classes, args.seed, args.epochs
+    );
+    // Same training recipe as rec-bench: item-classification loss only
+    // (user labels stay out, so no holdout signal leaks into the ranker).
+    let hyper = Hyper { hidden: 16, depth: 2, dropout_keep: 1.0, ..Hyper::default() };
+    let mut model = models::EdgeGatedGcn::new(
+        ds.features.shape().1,
+        ds.num_classes,
+        ds.edge_dim,
+        &hyper,
+        5,
+    );
+    let labels = std::rc::Rc::new(ds.labels.clone());
+    let idx = std::rc::Rc::new(ds.train_items.clone());
+    let mut opt = Adam::new(model.store(), 0.01, 5e-4);
+    let mut rng = TensorRng::seed_from_u64(args.seed ^ 0x7ea1);
+    for _ in 0..args.epochs {
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &ctx, Mode::Train, &mut rng);
+        let lp = tape.log_softmax(out.logits);
+        let loss = tape.nll_masked(lp, labels.clone(), idx.clone());
+        model.store_mut().zero_grads();
+        tape.backward(loss, model.store_mut());
+        opt.step(model.store_mut());
+    }
+    // Rank through the frozen engine — the exact path `serve` answers with.
+    let frozen = lasagne_serve::freeze_rec(
+        &model,
+        &ctx,
+        "rec-synthetic",
+        lasagne_serve::FrozenRec {
+            items: ds.items,
+            users: ds.users,
+            interacted: ds.interacted.clone(),
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: freeze_rec: {e}");
+        std::process::exit(1);
+    });
+    let engine = Engine::new(frozen.clone()).unwrap_or_else(|e| {
+        eprintln!("error: engine build: {e}");
+        std::process::exit(1);
+    });
+    let k = args.k;
+    let model_eval = ds.evaluate(k, |user| {
+        engine
+            .recommend(user, k)
+            .unwrap_or_else(|e| {
+                eprintln!("error: recommend user {user}: {e}");
+                std::process::exit(1);
+            })
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect()
+    });
+    let pop_eval = ds.evaluate(k, |user| ds.popularity_topk(user, k));
+    println!(
+        "model:      hit@{k}={:.4}  ndcg@{k}={:.4}  ({} users evaluated)",
+        model_eval.hit_rate, model_eval.ndcg, model_eval.users_evaluated
+    );
+    println!(
+        "popularity: hit@{k}={:.4}  ndcg@{k}={:.4}",
+        pop_eval.hit_rate, pop_eval.ndcg
+    );
+    if let Some(path) = &args.export {
+        frozen.save(path).unwrap_or_else(|e| {
+            eprintln!("error: export {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!(
+            "exported recommendation artifact to {} (serve with: lasagne-cli serve --frozen {})",
+            path.display(),
+            path.display()
+        );
+    }
+    std::process::exit(0);
+}
+
 fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--list") {
@@ -308,6 +442,9 @@ fn parse_args() -> Args {
     }
     if argv.first().map(String::as_str) == Some("serve") {
         run_serve(parse_serve_args(&argv[1..]));
+    }
+    if argv.first().map(String::as_str) == Some("rec") {
+        run_rec(parse_rec_args(&argv[1..]));
     }
     if argv.len() < 2 {
         usage();
